@@ -1,0 +1,135 @@
+// Command pqexp regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	pqexp [flags] <figure> [figure...]
+//	pqexp [flags] all
+//
+// Figures: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 fig15 fig16.
+//
+// By default it runs the quick profile (ideal link layer, scaled-down
+// sweep). Pass -full for the paper-scale configuration on the SINR stack
+// (slow: hours), or tune -stack/-seeds/-bign individually.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"probquorum/internal/experiment"
+	"probquorum/internal/netstack"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pqexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pqexp", flag.ContinueOnError)
+	full := fs.Bool("full", false, "paper-scale profile (SINR stack, n up to 800, 10 seeds)")
+	stack := fs.String("stack", "", "override stack: sinr | disk | ideal")
+	seeds := fs.Int("seeds", 0, "override seeds per data point")
+	bigN := fs.Int("bign", 0, "override the large-network size")
+	seed := fs.Int64("seed", 1, "base random seed")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no figure given; try: pqexp fig10  (or: pqexp all)")
+	}
+
+	p := experiment.Quick()
+	if *full {
+		p = experiment.Full()
+	}
+	switch strings.ToLower(*stack) {
+	case "":
+	case "sinr":
+		p.Stack = netstack.StackSINR
+	case "disk":
+		p.Stack = netstack.StackDisk
+	case "ideal":
+		p.Stack = netstack.StackIdeal
+	default:
+		return fmt.Errorf("unknown stack %q", *stack)
+	}
+	if *seeds > 0 {
+		p.Seeds = *seeds
+	}
+	if *bigN > 0 {
+		p.BigN = *bigN
+	}
+
+	figs := fs.Args()
+	if len(figs) == 1 && figs[0] == "all" {
+		figs = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tau", "fig4series", "crt"}
+	}
+	for _, f := range figs {
+		tables, err := runFigure(f, p, *seed)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		if *csvDir != "" {
+			paths, err := experiment.WriteCSVFiles(*csvDir, tables)
+			if err != nil {
+				return err
+			}
+			for _, path := range paths {
+				fmt.Fprintln(os.Stderr, "wrote", path)
+			}
+		}
+	}
+	return nil
+}
+
+func runFigure(name string, p experiment.Profile, seed int64) ([]experiment.Table, error) {
+	switch strings.ToLower(name) {
+	case "fig3":
+		return []experiment.Table{experiment.Fig3()}, nil
+	case "fig4":
+		return experiment.Fig4(p, seed), nil
+	case "fig5":
+		return experiment.Fig5(p, seed), nil
+	case "fig6":
+		return []experiment.Table{experiment.Fig6()}, nil
+	case "fig7":
+		return experiment.Fig7(), nil
+	case "fig8":
+		return experiment.Fig8(p, seed), nil
+	case "fig9":
+		return experiment.Fig9(p, seed), nil
+	case "fig10":
+		return experiment.Fig10(p, seed), nil
+	case "fig11":
+		return experiment.Fig11(p, seed), nil
+	case "fig12":
+		return experiment.Fig12(p, seed), nil
+	case "fig13":
+		return experiment.Fig13(p, seed), nil
+	case "fig14":
+		return experiment.Fig14(p, seed), nil
+	case "fig15":
+		return experiment.Fig15(p, seed), nil
+	case "fig16":
+		return experiment.Fig16(p, seed), nil
+	case "tau", "lemma56":
+		return experiment.TauSweep(p, seed), nil
+	case "fig4series":
+		return experiment.Fig4Series(p, seed), nil
+	case "crt", "crossing":
+		return experiment.CrossingTime(p, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown figure %q", name)
+	}
+}

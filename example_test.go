@@ -1,0 +1,65 @@
+package probquorum_test
+
+import (
+	"fmt"
+
+	"probquorum"
+)
+
+// The basic advertise/lookup flow on the paper's favoured asymmetric mix:
+// RANDOM advertise quorum (2√n members via routing), UNIQUE-PATH lookup
+// quorum (1.15√n members via a self-avoiding random walk).
+func Example() {
+	c := probquorum.NewCluster(probquorum.ClusterConfig{Nodes: 100, Seed: 42})
+	c.AdvertiseWait(3, "printer", "room-217")
+	res := c.LookupWait(42, "printer")
+	fmt.Println(res.Hit, res.Value)
+	// Output: true room-217
+}
+
+// Quorum sizing from Corollary 5.3: for a 0.9 intersection probability in
+// an 800-node network, |Qa|·|Qℓ| must reach n·ln(1/ε) ≈ 2.3n.
+func ExampleSizeForEpsilon() {
+	qa, ql := probquorum.SizeForEpsilon(800, 0.1, 1)
+	fmt.Println(qa, ql, qa*ql >= 1842)
+	// Output: 43 43 true
+}
+
+// Lemma 5.6's optimal asymmetry: with lookups 10× more frequent than
+// advertisements and advertise contacts 5× costlier per node, the lookup
+// quorum should be half the advertise quorum.
+func ExampleOptimalSizeRatio() {
+	fmt.Println(probquorum.OptimalSizeRatio(10, 5, 1))
+	// Output: 0.5
+}
+
+// The mix-and-match bound of Lemma 5.2 for the paper's Fig. 16 setting.
+func ExampleNonIntersectProb() {
+	miss := probquorum.NonIntersectProb(800, 56, 33)
+	fmt.Printf("%.2f\n", 1-miss)
+	// Output: 0.90
+}
+
+// Shared registers (Section 10): install the version-aware Merge, write
+// from one node, read the latest version from another.
+func ExampleCluster_NewRegister() {
+	cfg := probquorum.DefaultQuorumConfig(100)
+	cfg.Merge = probquorum.RegisterMerge
+	c := probquorum.NewCluster(probquorum.ClusterConfig{Nodes: 100, Seed: 7, Quorum: cfg})
+	reg := c.NewRegister("leader", false)
+
+	done := false
+	reg.Write(5, "node-5", func(v probquorum.Versioned, _ int) { done = true })
+	for !done {
+		c.RunFor(1)
+	}
+	done = false
+	reg.Read(80, func(r probquorum.ReadResult) {
+		fmt.Println(r.OK, r.Value, r.Version)
+		done = true
+	})
+	for !done {
+		c.RunFor(1)
+	}
+	// Output: true node-5 1
+}

@@ -1,0 +1,62 @@
+// Location service on a mobile ad hoc network — the paper's motivating
+// application (Sections 1 and 9.2). Mobile nodes periodically advertise
+// their own coarse position to a RANDOM advertise quorum; any node can find
+// any other node with a cheap UNIQUE-PATH lookup, with no geographic
+// knowledge used by the quorums, no flooding, and no multihop routing on
+// the lookup path. Refreshing follows the Section 6.1 degradation analysis.
+package main
+
+import (
+	"fmt"
+
+	"probquorum"
+)
+
+func main() {
+	const n = 150
+	cfg := probquorum.DefaultQuorumConfig(n)
+	cfg.Caching = true // bystander caching for popular targets (Section 7.1)
+	c := probquorum.NewCluster(probquorum.ClusterConfig{
+		Nodes: n, Seed: 7, MaxSpeed: 2, // pedestrians, 0.5-2 m/s
+		Quorum: cfg,
+	})
+
+	// The service derives its re-advertisement period from the expected
+	// churn rate and the acceptable intersection floor (Section 6.1).
+	svc := c.NewLocationService(probquorum.LocationServiceConfig{
+		MinIntersection: 0.85,
+		ChurnPerSecond:  0.002, // ~0.2% of the network churns per second
+	})
+	fmt.Printf("derived refresh period: %.0f s\n\n", svc.RefreshPeriod())
+
+	// Every 10th node registers with the service.
+	for id := 0; id < n; id += 10 {
+		svc.Publish(id)
+	}
+	c.RunFor(30)
+
+	// A few nodes track targets around the network.
+	hits, total := 0, 0
+	for _, seeker := range []int{3, 55, 91, 120, 149} {
+		for target := 0; target < n; target += 30 {
+			total++
+			done := false
+			svc.Locate(seeker, target, func(r probquorum.LocateResult) {
+				if r.Found {
+					hits++
+					fmt.Printf("node %3d found node %3d in %-12q after %.0f ms\n",
+						seeker, target, r.Location, r.Latency*1000)
+				} else {
+					fmt.Printf("node %3d missed node %3d\n", seeker, target)
+				}
+				done = true
+			})
+			for !done {
+				c.RunFor(1)
+			}
+		}
+	}
+	fmt.Printf("\nhit ratio %.2f over %d lookups on a MOBILE network\n",
+		float64(hits)/float64(total), total)
+	fmt.Printf("messages: %d app + %d routing\n", c.Messages(), c.RoutingMessages())
+}

@@ -1,0 +1,3 @@
+module probquorum
+
+go 1.22

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMissBound(t *testing.T) {
+	// Fig. 16's setting: n=800, |Qa|=56, |Qℓ|=33 → ≈0.9 intersection.
+	p := 1 - MissBound(800, 56, 33)
+	if p < 0.89 || p > 0.95 {
+		t.Fatalf("intersection bound = %v, want ≈0.9", p)
+	}
+	// Larger quorums → smaller miss.
+	if MissBound(800, 60, 40) >= MissBound(800, 56, 33) {
+		t.Fatal("miss bound not monotone")
+	}
+}
+
+func TestMalkhiMissBound(t *testing.T) {
+	if got := MalkhiMissBound(2); !almost(got, math.Exp(-4), 1e-12) {
+		t.Fatalf("MalkhiMissBound(2) = %v", got)
+	}
+}
+
+func TestRequiredProduct(t *testing.T) {
+	// Section 5.2: 1−ε = 0.9 → product ≥ 2.3n.
+	got := RequiredProduct(1000, 0.1)
+	if got < 2.3*1000 || got > 2.31*1000 {
+		t.Fatalf("RequiredProduct = %v, want ≈2303", got)
+	}
+}
+
+func TestDegradationCurves(t *testing.T) {
+	eps := 0.05 // start at 0.95 intersection
+
+	// Failures with fixed lookup size: no degradation at all (the
+	// paper's "remarkable resilience" result).
+	for _, f := range []float64{0, 0.3, 0.7} {
+		if got := DegradationFailuresFixed(eps, f); got != 0.95 {
+			t.Fatalf("failures-fixed at f=%v: %v, want 0.95", f, got)
+		}
+	}
+
+	// Section 6.1 / Fig. 7(c) example: starting at 0.95, after 30% churn
+	// the intersection is "only slightly below 0.9".
+	got := DegradationChurn(eps, 0.3)
+	if got < 0.85 || got > 0.91 {
+		t.Fatalf("churn at f=0.3: %v, want ≈0.88–0.9", got)
+	}
+
+	// Fig. 14(f)'s shape: 0.95 initial degrades to ≈0.87 at 50% churn.
+	got = DegradationChurn(eps, 0.5)
+	if got < 0.75 || got > 0.88 {
+		t.Fatalf("churn at f=0.5: %v, want ≈0.78–0.87", got)
+	}
+
+	// All curves start at 1−ε at f=0.
+	for _, fn := range []func(float64, float64) float64{
+		DegradationFailuresFixed, DegradationFailuresAdjusted,
+		DegradationJoinsFixed, DegradationJoinsAdjusted, DegradationChurn,
+	} {
+		if got := fn(eps, 0); !almost(got, 0.95, 1e-12) {
+			t.Fatalf("curve does not start at 1−ε: %v", got)
+		}
+	}
+
+	// Monotone non-increasing in f.
+	for _, fn := range []func(float64, float64) float64{
+		DegradationFailuresAdjusted, DegradationJoinsFixed,
+		DegradationJoinsAdjusted, DegradationChurn,
+	} {
+		prev := 1.0
+		for f := 0.0; f <= 0.9; f += 0.1 {
+			v := fn(eps, f)
+			if v > prev+1e-12 {
+				t.Fatalf("degradation increased at f=%v", f)
+			}
+			prev = v
+		}
+	}
+
+	// Joins hurt; adjusted lookup size hurts less than fixed under joins.
+	if DegradationJoinsAdjusted(eps, 0.5) < DegradationJoinsFixed(eps, 0.5) {
+		t.Fatal("adjusting |Qℓ| to a larger n should help under joins")
+	}
+}
+
+func TestRefreshIntervalFor(t *testing.T) {
+	// Section 6.1 example: ε=0.05, refresh when intersection < 0.9 —
+	// tolerated churn ≈ 30%.
+	f := RefreshIntervalFor(0.05, 0.9)
+	if f < 0.2 || f > 0.35 {
+		t.Fatalf("tolerated churn = %v, want ≈0.3", f)
+	}
+	if RefreshIntervalFor(0.05, 0.94) <= 0 {
+		t.Fatal("should tolerate some churn above the floor")
+	}
+	// A floor at the initial probability demands immediate refresh.
+	if got := RefreshIntervalFor(0.05, 0.95); got > 1e-9 {
+		t.Fatalf("RefreshIntervalFor at the start level = %v, want 0", got)
+	}
+	// Lower floors tolerate more churn, monotonically.
+	if RefreshIntervalFor(0.05, 0.5) <= RefreshIntervalFor(0.05, 0.9) {
+		t.Fatal("lower floor should tolerate more churn")
+	}
+}
+
+func TestFaultTolerance(t *testing.T) {
+	// Section 3: fault tolerance of a k√n quorum system is n−k√n+1.
+	if got := FaultTolerance(800, 56); got != 800-56+1 {
+		t.Fatalf("FaultTolerance = %d", got)
+	}
+	if FaultTolerance(10, 100) != 0 {
+		t.Fatal("oversized quorum should clamp to 0")
+	}
+}
+
+func TestFailureProbabilityExponent(t *testing.T) {
+	// Valid regime: positive exponent (exponentially unlikely failure).
+	if e := FailureProbabilityExponent(800, 2, 0.5); e <= 0 {
+		t.Fatalf("exponent = %v, want > 0", e)
+	}
+	// Outside the precondition p ≤ 1−k/√n: zero.
+	if e := FailureProbabilityExponent(100, 2, 0.95); e != 0 {
+		t.Fatalf("exponent = %v, want 0 outside regime", e)
+	}
+}
+
+func TestMaxSurvivableFailures(t *testing.T) {
+	// Section 6.1's example: n=1000 at d_avg=14 withstands about half
+	// the nodes failing (min degree for connectivity ≈ 7).
+	got := MaxSurvivableFailures(1000, 14)
+	if got < 400 || got > 600 {
+		t.Fatalf("survivable failures = %d, want ≈500", got)
+	}
+	// At the connectivity threshold, little slack remains.
+	if MaxSurvivableFailures(1000, 7) > 100 {
+		t.Fatal("threshold-density network should tolerate few failures")
+	}
+}
+
+func TestConnectivityDegree(t *testing.T) {
+	// d_avg = C·ln n; at n=800 and C=1 this is ≈6.7, matching the
+	// paper's observation that 7 neighbors is the sparsest connected.
+	if got := ConnectivityDegree(800, 1); got < 6.5 || got > 7 {
+		t.Fatalf("ConnectivityDegree(800,1) = %v", got)
+	}
+}
+
+func TestPCTBoundAndFactors(t *testing.T) {
+	if PCTBound(28, 0.85) != 2*0.85*28 {
+		t.Fatal("PCTBound formula")
+	}
+	// Factors decrease with density (Fig. 4(b)).
+	if !(EmpiricalPCTFactor(7) > EmpiricalPCTFactor(10) &&
+		EmpiricalPCTFactor(10) > EmpiricalPCTFactor(15) &&
+		EmpiricalPCTFactor(15) > EmpiricalPCTFactor(25)) {
+		t.Fatal("PCT factor not decreasing with density")
+	}
+	if EmpiricalPCTFactor(10) != 1.7 {
+		t.Fatalf("paper's d_avg=10 constant is 1.7, got %v", EmpiricalPCTFactor(10))
+	}
+}
+
+func TestCrossingTime(t *testing.T) {
+	if got := CrossingTimeLowerBound(0.1); !almost(got, 100, 1e-9) {
+		t.Fatalf("CrossingTimeLowerBound(0.1) = %v", got)
+	}
+	// At threshold: n/log n, which for n=800 ≈ 120.
+	if got := CrossingTimeAtThreshold(800); got < 100 || got > 140 {
+		t.Fatalf("CrossingTimeAtThreshold(800) = %v", got)
+	}
+}
+
+func TestAccessCosts(t *testing.T) {
+	n := 800
+	q := 28 // √n
+	random := RandomAccessCost(n, q)
+	path := PathAccessCost(q, 10)
+	sampling := RandomSamplingAccessCost(n, q)
+	// The paper's ordering: PATH ≪ RANDOM(routing) ≪ RANDOM(sampling).
+	if !(path < random && random < sampling) {
+		t.Fatalf("cost ordering violated: path=%v random=%v sampling=%v", path, random, sampling)
+	}
+}
+
+func TestFloodingCoverageModel(t *testing.T) {
+	if FloodingCoverageModel(10, 0) != 1 {
+		t.Fatal("TTL 0 covers only the origin")
+	}
+	// Superlinear growth and CG > 2 at TTL 3 (Section 4.4).
+	var cov []float64
+	for ttl := 0; ttl <= 5; ttl++ {
+		cov = append(cov, FloodingCoverageModel(10, ttl))
+	}
+	cg := CoverageGranularity(cov)
+	if cg[2] < 2 { // CG(3) is always above 2 in the paper
+		t.Fatalf("CG(3) = %v, want > 2", cg[2])
+	}
+	// CG decreases with TTL (Fig. 5(c,d)).
+	for i := 2; i < len(cg); i++ {
+		if cg[i] >= cg[i-1] {
+			t.Fatalf("CG not decreasing at TTL %d", i+1)
+		}
+	}
+}
+
+func TestCoverageGranularityEdge(t *testing.T) {
+	if CoverageGranularity([]float64{1}) != nil {
+		t.Fatal("single point has no granularity")
+	}
+	got := CoverageGranularity([]float64{1, 2, 6})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("CoverageGranularity = %v", got)
+	}
+}
+
+func TestTables(t *testing.T) {
+	st := StrategyTable()
+	if len(st) != 4 {
+		t.Fatalf("StrategyTable has %d rows", len(st))
+	}
+	// PATH is the only early-halting strategy (Fig. 3).
+	for _, row := range st {
+		if row.EarlyHalting != (row.Name == "PATH") {
+			t.Fatalf("early-halting wrong for %s", row.Name)
+		}
+	}
+	mt := MixTable()
+	if len(mt) < 6 {
+		t.Fatalf("MixTable has %d rows", len(mt))
+	}
+	// Combinations including RANDOM are topology independent (Lemma 5.2).
+	for _, row := range mt {
+		wantIndep := row.Advertise == "RANDOM" || row.Lookup == "RANDOM"
+		if strings.HasPrefix(row.Lookup, "RANDOM") {
+			wantIndep = true
+		}
+		if row.TopologyIndependent != wantIndep {
+			t.Fatalf("topology independence wrong for %s×%s", row.Advertise, row.Lookup)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "bb"}, [][]string{{"xxx", "y"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("FormatTable lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[1], "xxx") {
+		t.Fatal("row missing")
+	}
+}

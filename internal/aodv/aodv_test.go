@@ -1,0 +1,601 @@
+package aodv
+
+import (
+	"testing"
+
+	"probquorum/internal/geom"
+	"probquorum/internal/mobility"
+	"probquorum/internal/netstack"
+	"probquorum/internal/sim"
+)
+
+const testProto netstack.ProtocolID = 50
+
+type sink struct {
+	pkts []*netstack.Packet
+	from []int
+}
+
+func (s *sink) HandlePacket(_ *netstack.Node, pkt *netstack.Packet, from int) {
+	s.pkts = append(s.pkts, pkt)
+	s.from = append(s.from, from)
+}
+
+// lineWorld builds a static line of n nodes gap meters apart with AODV on
+// the ideal stack, and a sink for testProto at every node.
+func lineWorld(e *sim.Engine, n int, gap float64) (*netstack.Network, *Routing, []*sink) {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * gap, Y: 0}
+	}
+	net := netstack.New(e, netstack.Config{
+		N: n, Side: float64(n)*gap + 1, Mobility: mobility.NewStatic(pts),
+		Stack: netstack.StackIdeal,
+	})
+	r := New(net, Config{})
+	sinks := make([]*sink, n)
+	for i := range sinks {
+		sinks[i] = &sink{}
+		net.Node(i).Register(testProto, sinks[i])
+	}
+	return net, r, sinks
+}
+
+func innerPkt(src, dst int) *netstack.Packet {
+	return &netstack.Packet{Proto: testProto, Src: src, Dst: dst, Bytes: 512, Payload: "data"}
+}
+
+func TestMultihopDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 6, 150) // 5 hops end to end
+	var okResult *bool
+	e.Schedule(0, func() {
+		r.Send(0, 5, innerPkt(0, 5), func(ok bool) { okResult = &ok })
+	})
+	e.Run(10)
+	if len(sinks[5].pkts) != 1 {
+		t.Fatalf("destination received %d packets, want 1", len(sinks[5].pkts))
+	}
+	if got := sinks[5].pkts[0].Hops; got != 5 {
+		t.Fatalf("delivered packet Hops = %d, want 5", got)
+	}
+	if okResult == nil || !*okResult {
+		t.Fatal("send callback should report success")
+	}
+	if !r.HasRoute(0, 5) {
+		t.Fatal("origin should hold a route after delivery")
+	}
+	// Intermediate sinks must NOT see the routed payload.
+	for i := 1; i <= 4; i++ {
+		if len(sinks[i].pkts) != 0 {
+			t.Fatalf("intermediate node %d received the app payload", i)
+		}
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 2, 150)
+	e.Schedule(0, func() { r.Send(0, 0, innerPkt(0, 0), nil) })
+	e.Run(1)
+	if len(sinks[0].pkts) != 1 {
+		t.Fatal("self-addressed packet not delivered locally")
+	}
+}
+
+func TestExpandingRing(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 8, 150) // 7 hops away: needs ring escalation
+	e.Schedule(0, func() { r.Send(0, 7, innerPkt(0, 7), nil) })
+	e.Run(20)
+	if len(sinks[7].pkts) != 1 {
+		t.Fatal("far destination not reached")
+	}
+	// TTL start 1 cannot reach 7 hops: at least two rings must have run.
+	if r.Discoveries < 2 {
+		t.Fatalf("Discoveries = %d, want ≥ 2 (expanding ring)", r.Discoveries)
+	}
+}
+
+func TestRouteReuseAvoidsRediscovery(t *testing.T) {
+	e := sim.NewEngine(1)
+	net, r, sinks := lineWorld(e, 5, 150)
+	e.Schedule(0, func() { r.Send(0, 4, innerPkt(0, 4), nil) })
+	e.Run(10)
+	discoveriesAfterFirst := r.Discoveries
+	routingAfterFirst := net.Stats().Get(netstack.CtrRoutingMsgs)
+	e.Schedule(0, func() { r.Send(0, 4, innerPkt(0, 4), nil) })
+	e.Run(20)
+	if len(sinks[4].pkts) != 2 {
+		t.Fatalf("destination received %d packets, want 2", len(sinks[4].pkts))
+	}
+	if r.Discoveries != discoveriesAfterFirst {
+		t.Fatal("second send re-discovered despite a cached route")
+	}
+	if net.Stats().Get(netstack.CtrRoutingMsgs) != routingAfterFirst {
+		t.Fatal("second send generated routing overhead")
+	}
+}
+
+func TestUnreachableDestinationFails(t *testing.T) {
+	e := sim.NewEngine(1)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 150, Y: 0}, {X: 5000, Y: 0}}
+	net := netstack.New(e, netstack.Config{
+		N: 3, Side: 6000, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	r := New(net, Config{})
+	var okResult *bool
+	e.Schedule(0, func() {
+		r.Send(0, 2, innerPkt(0, 2), func(ok bool) { okResult = &ok })
+	})
+	e.Run(60)
+	if okResult == nil {
+		t.Fatal("no routing notification for unreachable destination")
+	}
+	if *okResult {
+		t.Fatal("send to unreachable destination reported success")
+	}
+}
+
+func TestPendingPacketsShareDiscovery(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 4, 150)
+	e.Schedule(0, func() {
+		r.Send(0, 3, innerPkt(0, 3), nil)
+		r.Send(0, 3, innerPkt(0, 3), nil)
+		r.Send(0, 3, innerPkt(0, 3), nil)
+	})
+	e.Run(10)
+	if len(sinks[3].pkts) != 3 {
+		t.Fatalf("destination received %d packets, want 3", len(sinks[3].pkts))
+	}
+}
+
+func TestScopedSendWithinScope(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 4, 150)
+	var okResult *bool
+	e.Schedule(0, func() {
+		r.SendScoped(0, 2, innerPkt(0, 2), 3, func(ok bool) { okResult = &ok })
+	})
+	e.Run(10)
+	if len(sinks[2].pkts) != 1 {
+		t.Fatal("scoped send within range failed")
+	}
+	if okResult == nil || !*okResult {
+		t.Fatal("scoped send should succeed")
+	}
+}
+
+func TestScopedSendBeyondScopeFailsFast(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 8, 150)
+	var okResult *bool
+	e.Schedule(0, func() {
+		r.SendScoped(0, 7, innerPkt(0, 7), 3, func(ok bool) { okResult = &ok })
+	})
+	e.Run(30)
+	if okResult == nil {
+		t.Fatal("scoped send gave no result")
+	}
+	if *okResult {
+		t.Fatal("scoped send beyond TTL should fail")
+	}
+	if len(sinks[7].pkts) != 0 {
+		t.Fatal("packet escaped the TTL scope")
+	}
+	// A scoped discovery must not escalate to a full flood.
+	if r.Discoveries != 1 {
+		t.Fatalf("Discoveries = %d, want 1 (no escalation)", r.Discoveries)
+	}
+}
+
+func TestTransitTapObservesAndConsumes(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 5, 150)
+	var seen []int
+	r.AddTransitTap(2, func(at *netstack.Node, inner *netstack.Packet) bool {
+		seen = append(seen, at.ID())
+		return true // consume
+	})
+	e.Schedule(0, func() { r.Send(0, 4, innerPkt(0, 4), nil) })
+	e.Run(10)
+	if len(seen) != 1 || seen[0] != 2 {
+		t.Fatalf("tap observations = %v, want [2]", seen)
+	}
+	if len(sinks[4].pkts) != 0 {
+		t.Fatal("consumed packet still reached the destination")
+	}
+}
+
+func TestTransitTapPassThrough(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 5, 150)
+	var seen []int
+	for id := 1; id <= 3; id++ {
+		id := id
+		r.AddTransitTap(id, func(at *netstack.Node, inner *netstack.Packet) bool {
+			seen = append(seen, id)
+			return false
+		})
+	}
+	e.Schedule(0, func() { r.Send(0, 4, innerPkt(0, 4), nil) })
+	e.Run(10)
+	if len(seen) != 3 {
+		t.Fatalf("taps saw %v, want all of 1,2,3", seen)
+	}
+	if len(sinks[4].pkts) != 1 {
+		t.Fatal("pass-through packet did not reach the destination")
+	}
+}
+
+func TestLinkBreakTriggersRediscovery(t *testing.T) {
+	e := sim.NewEngine(1)
+	// Two disjoint paths 0→1→4 and 0→2→4 (diamond). After 1 dies, a
+	// retry must deliver via 2.
+	pts := []geom.Point{
+		{X: 0, Y: 0},      // 0
+		{X: 140, Y: 60},   // 1
+		{X: 140, Y: -60},  // 2
+		{X: 1000, Y: 500}, // 3 (bystander, far)
+		{X: 280, Y: 0},    // 4
+	}
+	net := netstack.New(e, netstack.Config{
+		N: 5, Side: 2000, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	r := New(net, Config{})
+	s := &sink{}
+	net.Node(4).Register(testProto, s)
+	e.Schedule(0, func() { r.Send(0, 4, innerPkt(0, 4), nil) })
+	e.Run(10)
+	if len(s.pkts) != 1 {
+		t.Fatal("initial delivery failed")
+	}
+	// Kill whichever relay the route uses; then send again.
+	e.Schedule(0, func() {
+		if r.HasRoute(0, 4) {
+			// invalidate by killing both possible relays' one: find which
+			// next hop is in use by sending after failing node 1.
+			net.Fail(1)
+		}
+	})
+	var okResult *bool
+	e.Schedule(1, func() {
+		r.Send(0, 4, innerPkt(0, 4), func(ok bool) { okResult = &ok })
+	})
+	e.Run(60)
+	if len(s.pkts) != 2 {
+		t.Fatalf("delivery after link break: got %d packets, want 2", len(s.pkts))
+	}
+	if okResult == nil || !*okResult {
+		t.Fatal("retry after link break should eventually succeed")
+	}
+}
+
+func TestGridAnyPairReachable(t *testing.T) {
+	e := sim.NewEngine(5)
+	// 5x5 grid, 140 m spacing: richly connected.
+	var pts []geom.Point
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			pts = append(pts, geom.Point{X: float64(x) * 140, Y: float64(y) * 140})
+		}
+	}
+	net := netstack.New(e, netstack.Config{
+		N: 25, Side: 700, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	r := New(net, Config{})
+	s := make([]*sink, 25)
+	for i := range s {
+		s[i] = &sink{}
+		net.Node(i).Register(testProto, s[i])
+	}
+	pairs := [][2]int{{0, 24}, {4, 20}, {12, 0}, {7, 23}, {24, 0}}
+	for i, pr := range pairs {
+		pr := pr
+		e.Schedule(float64(i), func() { r.Send(pr[0], pr[1], innerPkt(pr[0], pr[1]), nil) })
+	}
+	e.Run(30)
+	for _, pr := range pairs {
+		found := false
+		for _, pkt := range s[pr[1]].pkts {
+			if pkt.Src == pr[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pair %v not delivered", pr)
+		}
+	}
+}
+
+func TestMobileDeliveryWithSINRStack(t *testing.T) {
+	// End-to-end smoke test on the full-fidelity stack: DCF MAC + SINR
+	// medium + heartbeat neighbors + waypoint mobility.
+	e := sim.NewEngine(9)
+	mob := mobility.NewWaypoint(e.NewStream(), 30, mobility.WaypointConfig{
+		MinSpeed: 0.5, MaxSpeed: 2, Pause: 30, Side: 800,
+	}, nil)
+	net := netstack.New(e, netstack.Config{
+		N: 30, Side: 800, Mobility: mob, Stack: netstack.StackSINR,
+	})
+	r := New(net, Config{})
+	s := make([]*sink, 30)
+	for i := range s {
+		s[i] = &sink{}
+		net.Node(i).Register(testProto, s[i])
+	}
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		src, dst := i, 29-i
+		e.Schedule(30+float64(i)*2, func() { r.Send(src, dst, innerPkt(src, dst), nil) })
+	}
+	e.Run(120)
+	for i := 0; i < 10; i++ {
+		for _, pkt := range s[29-i].pkts {
+			if pkt.Src == i {
+				delivered++
+				break
+			}
+		}
+	}
+	if delivered < 7 {
+		t.Fatalf("only %d/10 routed packets delivered on the SINR stack", delivered)
+	}
+	if net.Stats().Get(netstack.CtrRoutingMsgs) == 0 {
+		t.Fatal("no routing overhead counted")
+	}
+}
+
+func TestOracleMultihopDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	pts := make([]geom.Point, 6)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * 150, Y: 0}
+	}
+	net := netstack.New(e, netstack.Config{
+		N: 6, Side: 1000, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	o := NewOracle(net)
+	s := &sink{}
+	net.Node(5).Register(testProto, s)
+	var okResult *bool
+	e.Schedule(0, func() { o.Send(0, 5, innerPkt(0, 5), func(ok bool) { okResult = &ok }) })
+	e.Run(5)
+	if len(s.pkts) != 1 || s.pkts[0].Hops != 5 {
+		t.Fatalf("oracle delivery: %d pkts", len(s.pkts))
+	}
+	if okResult == nil || !*okResult {
+		t.Fatal("oracle send not ok")
+	}
+	// Zero routing control overhead — the whole point of the baseline.
+	if net.Stats().Get(netstack.CtrRoutingMsgs) != 0 {
+		t.Fatal("oracle produced routing control messages")
+	}
+	if !o.HasRoute(0, 5) {
+		t.Fatal("HasRoute false on a connected line")
+	}
+}
+
+func TestOracleScopedAndUnreachable(t *testing.T) {
+	e := sim.NewEngine(1)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 150, Y: 0}, {X: 300, Y: 0}, {X: 450, Y: 0}, {X: 5000, Y: 0}}
+	net := netstack.New(e, netstack.Config{
+		N: 5, Side: 6000, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	o := NewOracle(net)
+	s := &sink{}
+	net.Node(3).Register(testProto, s)
+	var scoped, far *bool
+	e.Schedule(0, func() {
+		o.SendScoped(0, 3, innerPkt(0, 3), 2, func(ok bool) { scoped = &ok }) // 3 hops away
+		o.Send(0, 4, innerPkt(0, 4), func(ok bool) { far = &ok })             // disconnected
+	})
+	e.Run(5)
+	if scoped == nil || *scoped {
+		t.Fatal("scoped send beyond TTL should fail")
+	}
+	if far == nil || *far {
+		t.Fatal("send to a disconnected node should fail")
+	}
+	if len(s.pkts) != 0 {
+		t.Fatal("scoped packet escaped its TTL")
+	}
+	if o.DataDrops == 0 {
+		t.Fatal("drops not counted")
+	}
+}
+
+func TestOracleTransitTap(t *testing.T) {
+	e := sim.NewEngine(1)
+	pts := make([]geom.Point, 4)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i) * 150, Y: 0}
+	}
+	net := netstack.New(e, netstack.Config{
+		N: 4, Side: 700, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	o := NewOracle(net)
+	s := &sink{}
+	net.Node(3).Register(testProto, s)
+	var seen []int
+	o.AddTransitTap(1, func(at *netstack.Node, inner *netstack.Packet) bool {
+		seen = append(seen, at.ID())
+		return false
+	})
+	o.AddTransitTap(2, func(at *netstack.Node, inner *netstack.Packet) bool {
+		seen = append(seen, at.ID())
+		return true // consume
+	})
+	e.Schedule(0, func() { o.Send(0, 3, innerPkt(0, 3), nil) })
+	e.Run(5)
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("taps saw %v", seen)
+	}
+	if len(s.pkts) != 0 {
+		t.Fatal("consumed packet reached destination")
+	}
+}
+
+func TestOracleAvoidsDeadNodes(t *testing.T) {
+	e := sim.NewEngine(1)
+	// Diamond: 0-(1|2)-3; kill 1, oracle must route via 2.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 140, Y: 60}, {X: 140, Y: -60}, {X: 280, Y: 0}}
+	net := netstack.New(e, netstack.Config{
+		N: 4, Side: 600, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	o := NewOracle(net)
+	net.Fail(1)
+	s := &sink{}
+	net.Node(3).Register(testProto, s)
+	e.Schedule(0, func() { o.Send(0, 3, innerPkt(0, 3), nil) })
+	e.Run(5)
+	if len(s.pkts) != 1 {
+		t.Fatal("oracle failed to route around a dead node")
+	}
+}
+
+func TestIntermediateNodeReplies(t *testing.T) {
+	// After 0→4 establishes routes, node 1 holds a fresh route to 4; a
+	// discovery from... 0 again would reuse. Instead: 0 discovers 4, then
+	// we expire nothing and let node 0 re-discover after invalidating
+	// only its own entry — the intermediate node's cached route answers
+	// without the flood reaching the destination's neighborhood.
+	e := sim.NewEngine(1)
+	net, r, sinks := lineWorld(e, 6, 150)
+	e.Schedule(0, func() { r.Send(0, 5, innerPkt(0, 5), nil) })
+	e.Run(10)
+	if len(sinks[5].pkts) != 1 {
+		t.Fatal("setup delivery failed")
+	}
+	// Invalidate the origin's route only (simulate local expiry).
+	r.nodes[0].routes[5].valid = false
+	before := net.Stats().Get(netstack.CtrRoutingMsgs)
+	e.Schedule(0, func() { r.Send(0, 5, innerPkt(0, 5), nil) })
+	e.Run(20)
+	if len(sinks[5].pkts) != 2 {
+		t.Fatal("redelivery failed")
+	}
+	// The re-discovery should be answered by an intermediate node's
+	// cached route: far cheaper than the first full expanding-ring.
+	cost := net.Stats().Get(netstack.CtrRoutingMsgs) - before
+	if cost > 12 {
+		t.Fatalf("re-discovery cost %d routing msgs; intermediate reply should keep it small", cost)
+	}
+}
+
+func TestRouteExpiry(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 4, 150)
+	e.Schedule(0, func() { r.Send(0, 3, innerPkt(0, 3), nil) })
+	e.Run(10)
+	if !r.HasRoute(0, 3) {
+		t.Fatal("no route after delivery")
+	}
+	// Idle past ActiveRouteTimeout: the route must expire.
+	e.Run(e.Now() + DefaultConfig().ActiveRouteTimeout + 5)
+	if r.HasRoute(0, 3) {
+		t.Fatal("route did not expire")
+	}
+	// But it still works again on demand.
+	e.Schedule(0, func() { r.Send(0, 3, innerPkt(0, 3), nil) })
+	e.Run(e.Now() + 20)
+	if len(sinks[3].pkts) != 2 {
+		t.Fatal("post-expiry delivery failed")
+	}
+}
+
+func TestRouteRefreshOnUse(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, sinks := lineWorld(e, 4, 150)
+	timeout := DefaultConfig().ActiveRouteTimeout
+	e.Schedule(0, func() { r.Send(0, 3, innerPkt(0, 3), nil) })
+	e.Run(10)
+	// Keep using the route at 60% of the timeout: it must never expire.
+	for i := 0; i < 5; i++ {
+		e.Schedule(timeout*0.6, func() { r.Send(0, 3, innerPkt(0, 3), nil) })
+		e.Run(e.Now() + timeout*0.6 + 2)
+	}
+	if len(sinks[3].pkts) != 6 {
+		t.Fatalf("delivered %d, want 6", len(sinks[3].pkts))
+	}
+	if !r.HasRoute(0, 3) {
+		t.Fatal("actively used route expired")
+	}
+}
+
+func TestRERRPropagatesUpstream(t *testing.T) {
+	// 0→1→2→3; node 3 dies; node 2's send fails → RERR reaches 1 and 0,
+	// invalidating their routes to 3.
+	e := sim.NewEngine(1)
+	net, r, sinks := lineWorld(e, 4, 150)
+	e.Schedule(0, func() { r.Send(0, 3, innerPkt(0, 3), nil) })
+	e.Run(3)
+	if len(sinks[3].pkts) != 1 {
+		t.Fatal("setup delivery failed")
+	}
+	net.Fail(3)
+	// Sending again while routes are still fresh: the data dies at node
+	// 2, which broadcasts RERR; the origin-side retry re-discovers,
+	// fails, and reports.
+	var okResult *bool
+	e.Schedule(1, func() { r.Send(0, 3, innerPkt(0, 3), func(ok bool) { okResult = &ok }) })
+	e.Run(e.Now() + 60)
+	if r.HasRoute(1, 3) || r.HasRoute(2, 3) {
+		t.Fatal("stale routes to the dead node survived the RERR")
+	}
+	_ = okResult // the first hop may still succeed (failure is downstream)
+	if r.DataDrops == 0 {
+		t.Fatal("no data drop recorded at the break")
+	}
+}
+
+func TestNoRetryDataOnLinkBreak(t *testing.T) {
+	e := sim.NewEngine(1)
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 150, Y: 0}}
+	net := netstack.New(e, netstack.Config{
+		N: 2, Side: 400, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	cfg := DefaultConfig()
+	cfg.RetryDataOnLinkBreak = false
+	r := New(net, cfg)
+	// Establish a route, then kill the destination: the send must fail
+	// without a re-discovery attempt.
+	s := &sink{}
+	net.Node(1).Register(testProto, s)
+	e.Schedule(0, func() { r.Send(0, 1, innerPkt(0, 1), nil) })
+	e.Run(5)
+	net.Fail(1)
+	var okResult *bool
+	discBefore := r.Discoveries
+	e.Schedule(0, func() { r.Send(0, 1, innerPkt(0, 1), func(ok bool) { okResult = &ok }) })
+	e.Run(e.Now() + 30)
+	if okResult == nil || *okResult {
+		t.Fatal("send to dead neighbor should fail")
+	}
+	if r.Discoveries != discBefore {
+		t.Fatal("re-discovery attempted despite RetryDataOnLinkBreak=false")
+	}
+}
+
+func TestSequenceNumberFreshness(t *testing.T) {
+	e := sim.NewEngine(1)
+	_, r, _ := lineWorld(e, 3, 150)
+	st := r.nodes[0]
+	// Install a route with seq 10, then offer a stale seq-5 update: it
+	// must be rejected; a fresh seq-11 update must win even with more hops.
+	r.updateRoute(st, 2, 1, 2, 10, true)
+	r.updateRoute(st, 2, 1, 1, 5, true)
+	if st.routes[2].seq != 10 {
+		t.Fatal("stale sequence number overwrote a fresher route")
+	}
+	r.updateRoute(st, 2, 1, 7, 11, true)
+	if st.routes[2].seq != 11 || st.routes[2].hops != 7 {
+		t.Fatal("fresher sequence number rejected")
+	}
+	// Equal seq with fewer hops improves the route.
+	r.updateRoute(st, 2, 1, 3, 11, true)
+	if st.routes[2].hops != 3 {
+		t.Fatal("shorter same-seq route rejected")
+	}
+}

@@ -1,0 +1,115 @@
+package aodv
+
+import "probquorum/internal/netstack"
+
+// dataMsg is the routed-data envelope carried hop by hop.
+type dataMsg struct {
+	Inner *netstack.Packet
+}
+
+// transmitData sends op's packet toward its destination via route rt from
+// the origin node st.
+func (r *Routing) transmitData(st *nodeState, op *outPacket, rt *route) {
+	r.touchRoute(st, op.dst)
+	node := r.net.Node(st.id)
+	pkt := &netstack.Packet{
+		Proto: netstack.ProtoRouted, Src: st.id, Dst: op.dst,
+		TTL:   r.cfg.NetDiameter,
+		Bytes: op.inner.Bytes + dataEnvelopeBytes,
+		Hops:  op.inner.Hops,
+		Payload: &dataMsg{
+			Inner: op.inner,
+		},
+	}
+	next := rt.nextHop
+	node.SendOneHop(next, pkt, func(ok bool) {
+		if ok {
+			if op.done != nil {
+				op.done(true)
+			}
+			return
+		}
+		r.linkBroken(st, next)
+		// Origin-side salvage: one re-discovery attempt, then give up.
+		if r.cfg.RetryDataOnLinkBreak && !op.retried && op.maxTTL == 0 {
+			op.retried = true
+			if rt2 := r.validRoute(st, op.dst); rt2 != nil && rt2.nextHop != next {
+				r.transmitData(st, op, rt2)
+				return
+			}
+			r.enqueueDiscovery(st, op)
+			return
+		}
+		if op.done != nil {
+			op.done(false)
+		}
+	})
+}
+
+// handleData processes a routed envelope arriving at node n.
+func (r *Routing) handleData(n *netstack.Node, pkt *netstack.Packet, from int) {
+	st := r.nodes[n.ID()]
+	env, ok := pkt.Payload.(*dataMsg)
+	if !ok {
+		return
+	}
+	// Keep the active paths fresh in both directions.
+	r.updateRoute(st, from, from, 1, 0, false)
+	r.touchRoute(st, pkt.Src)
+	r.touchRoute(st, pkt.Dst)
+
+	if pkt.Dst == st.id {
+		inner := env.Inner.Clone()
+		inner.Hops = pkt.Hops + 1
+		n.DeliverLocal(inner, from)
+		return
+	}
+
+	// Transit: offer the packet to cross-layer taps (RANDOM-OPT). A tap
+	// consuming the packet stops forwarding.
+	for _, tap := range st.taps {
+		inner := env.Inner.Clone()
+		inner.Hops = pkt.Hops + 1
+		if tap(n, inner) {
+			return
+		}
+	}
+
+	if pkt.TTL <= 1 {
+		r.DataDrops++
+		return
+	}
+	rt := r.validRoute(st, pkt.Dst)
+	if rt == nil {
+		r.DataDrops++
+		r.linkLess(st, pkt.Dst)
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	fwd.Hops++
+	next := rt.nextHop
+	n.SendOneHop(next, fwd, func(ok bool) {
+		if !ok {
+			r.linkBroken(st, next)
+			r.DataDrops++
+		}
+	})
+}
+
+// linkLess reports a missing route at a forwarding node (route expired
+// under the packet): advertise unreachability so upstream nodes repair.
+func (r *Routing) linkLess(st *nodeState, dst int) {
+	rt := st.routes[dst]
+	seq := uint32(0)
+	if rt != nil {
+		rt.seq++
+		seq = rt.seq
+	}
+	node := r.net.Node(st.id)
+	pkt := &netstack.Packet{
+		Proto: netstack.ProtoAODV, Src: st.id, Dst: netstack.Broadcast,
+		TTL: 1, Bytes: rerrBytes, Payload: &rerrMsg{Unreachable: []unreachable{{dst: dst, seq: seq}}},
+	}
+	r.engine.Schedule(r.jitter(), func() { node.BroadcastOneHop(pkt, nil) })
+}

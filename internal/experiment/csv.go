@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSV renders the table as RFC 4180 CSV.
+func (t Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// slug derives a file-name-safe identifier from the table title.
+func (t Table) slug() string {
+	s := strings.ToLower(t.Title)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_' || r == '.':
+			b.WriteByte('-')
+		}
+		if b.Len() >= 64 {
+			break
+		}
+	}
+	return strings.Trim(strings.ReplaceAll(b.String(), "--", "-"), "-")
+}
+
+// WriteCSVFiles writes each table to dir as <slug>.csv and returns the
+// paths written.
+func WriteCSVFiles(dir string, tables []Table) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("create csv dir: %w", err)
+	}
+	var paths []string
+	for i, t := range tables {
+		name := t.slug()
+		if name == "" {
+			name = fmt.Sprintf("table-%d", i)
+		}
+		path := filepath.Join(dir, name+".csv")
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return nil, fmt.Errorf("write %s: %w", path, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

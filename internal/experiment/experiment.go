@@ -1,0 +1,361 @@
+// Package experiment reproduces the paper's simulation study: it builds a
+// full stack (mobility → PHY/MAC → AODV → membership → quorum), runs the
+// paper's two-phase workload (advertisements, then lookups; Section 8),
+// injects churn between the phases when asked, and reports the metrics the
+// figures plot — hit ratio, intersection probability, messages per
+// operation with and without routing overhead, and reply-drop counts —
+// averaged over seeds.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"probquorum/internal/aodv"
+	"probquorum/internal/membership"
+	"probquorum/internal/mobility"
+	"probquorum/internal/netstack"
+	"probquorum/internal/quorum"
+	"probquorum/internal/sim"
+)
+
+// Scenario describes one simulation run. Zero values take the paper's
+// defaults (Fig. 2) where they exist.
+type Scenario struct {
+	// N is the node count (paper: 50–800).
+	N int
+	// AvgDegree is the target density (paper default: 10).
+	AvgDegree float64
+	// Stack selects fidelity; default netstack.StackSINR.
+	Stack netstack.StackKind
+	// SpeedMin/SpeedMax are random-waypoint speeds in m/s; both zero
+	// means a static network. Paper default mobile range: 0.5–2.
+	SpeedMin, SpeedMax float64
+	// PauseSecs is the waypoint pause (paper: 30).
+	PauseSecs float64
+	// Quorum is the strategy mix and sizing.
+	Quorum quorum.Config
+	// Advertisements and Lookups size the workload (paper: 100 and 1000,
+	// the latter from LookupNodes=25 random nodes).
+	Advertisements, Lookups, LookupNodes int
+	// AdvertiseGapSecs and LookupGapSecs pace the phases.
+	AdvertiseGapSecs, LookupGapSecs float64
+	// WarmupSecs runs the network before the workload (paper: 200).
+	WarmupSecs float64
+	// Seed drives all randomness.
+	Seed int64
+	// FailFraction / JoinFraction inject churn between the phases: the
+	// fraction of N to crash and to newly join (Section 8.7). Joining
+	// nodes are pre-allocated and kept down until the churn point.
+	FailFraction, JoinFraction float64
+	// AdjustLookupSize recomputes |Qℓ| for the post-churn network size
+	// (Section 6.1's "adjusted" variant, used by Fig. 14(f)).
+	AdjustLookupSize bool
+	// LossProb is per-attempt loss for the ideal stack.
+	LossProb float64
+	// IdealHopDelay adds fixed per-hop latency on the ideal stack,
+	// surfacing mobility-induced path breakage (Fig. 13) without the
+	// full SINR stack's cost.
+	IdealHopDelay float64
+	// OracleRouting replaces AODV with the zero-overhead oracle router,
+	// isolating the paper's "cost of establishing the routes" from the
+	// "cost of using the routes" (Section 4.1).
+	OracleRouting bool
+	// LookupAbsentKeys makes every lookup query a never-advertised key,
+	// measuring the paper's "cost of a lookup miss" (Fig. 16): the whole
+	// target quorum is paid, with no early-halting savings.
+	LookupAbsentKeys bool
+}
+
+func (sc *Scenario) fillDefaults() {
+	if sc.N == 0 {
+		sc.N = 100
+	}
+	if sc.AvgDegree == 0 {
+		sc.AvgDegree = 10
+	}
+	if sc.Stack == 0 {
+		sc.Stack = netstack.StackSINR
+	}
+	if sc.PauseSecs == 0 {
+		sc.PauseSecs = 30
+	}
+	if sc.Advertisements == 0 {
+		sc.Advertisements = 100
+	}
+	if sc.Lookups == 0 {
+		sc.Lookups = 1000
+	}
+	if sc.LookupNodes == 0 {
+		sc.LookupNodes = 25
+	}
+	if sc.AdvertiseGapSecs == 0 {
+		sc.AdvertiseGapSecs = 1.0
+	}
+	if sc.LookupGapSecs == 0 {
+		sc.LookupGapSecs = 0.35
+	}
+	if sc.WarmupSecs == 0 {
+		if sc.Stack == netstack.StackIdeal {
+			sc.WarmupSecs = 30
+		} else {
+			sc.WarmupSecs = 60
+		}
+	}
+}
+
+// Result aggregates one run's measurements (or a mean over seeds).
+type Result struct {
+	// HitRatio is the fraction of lookups whose reply reached the origin
+	// — the paper's hit ratio / intersection probability measurement.
+	HitRatio float64
+	// IntersectRatio counts lookups whose quorum touched a holder of the
+	// key, regardless of reply fate (Fig. 13(b)).
+	IntersectRatio float64
+	// ReplyDropRatio is IntersectRatio − HitRatio expressed over
+	// intersecting lookups (Fig. 13(c)'s reply loss).
+	ReplyDropRatio float64
+	// AdvertiseAppMsgs is application messages per advertise operation.
+	AdvertiseAppMsgs float64
+	// AdvertiseRoutingMsgs is AODV control messages per advertise.
+	AdvertiseRoutingMsgs float64
+	// LookupAppMsgs is application messages per lookup operation.
+	LookupAppMsgs float64
+	// LookupRoutingMsgs is AODV control messages per lookup.
+	LookupRoutingMsgs float64
+	// AvgPlaced is the mean advertise quorum actually written.
+	AvgPlaced float64
+	// AvgLatency is the mean hit latency in seconds.
+	AvgLatency float64
+	// Counters are the quorum protocol diagnostics.
+	Counters quorum.Counters
+	// Runs is how many seeds were averaged.
+	Runs int
+}
+
+// buildStack constructs the full simulation stack for a scenario: engine,
+// network, routing, membership, and the quorum system. Nodes beyond sc.N
+// (join capacity) start failed.
+func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *membership.Service, *quorum.System) {
+	sc.fillDefaults()
+	engine := sim.NewEngine(sc.Seed)
+
+	// Pre-allocate join capacity; joiners stay down until churn time.
+	joiners := int(math.Round(sc.JoinFraction * float64(sc.N)))
+	total := sc.N + joiners
+
+	cfg := netstack.Config{
+		N: total, AvgDegree: sc.AvgDegree, Stack: sc.Stack,
+		LossProb: sc.LossProb, IdealHopDelay: sc.IdealHopDelay,
+	}
+	// Area sized for the *initial* population, per the paper's scaling.
+	cfg.Side = areaSide(sc.N, 200, sc.AvgDegree)
+	if sc.SpeedMax > 0 {
+		cfg.Mobility = mobility.NewWaypoint(engine.NewStream(), total, mobility.WaypointConfig{
+			MinSpeed: sc.SpeedMin, MaxSpeed: sc.SpeedMax,
+			Pause: sc.PauseSecs, Side: cfg.Side,
+		}, nil)
+	}
+	net := netstack.New(engine, cfg)
+	var routing aodv.Router
+	if sc.OracleRouting {
+		routing = aodv.NewOracle(net)
+	} else {
+		acfg := aodv.DefaultConfig()
+		if sc.IdealHopDelay > 0 {
+			// The ring-search timeouts assume NodeTraversalTime per
+			// hop; keep them consistent with the inflated hop latency.
+			if t := 2 * sc.IdealHopDelay; t > acfg.NodeTraversalTime {
+				acfg.NodeTraversalTime = t
+			}
+		}
+		routing = aodv.New(net, acfg)
+	}
+	members := membership.New(net, membership.Config{ViewSize: membership.DefaultViewSize(sc.N)})
+	sys := quorum.New(net, routing, members, sc.Quorum)
+	for id := sc.N; id < total; id++ {
+		net.Fail(id) // joiners wait in the wings
+	}
+	return engine, net, routing, members, sys
+}
+
+// Run executes one scenario and returns its measurements.
+func Run(sc Scenario) Result {
+	sc.fillDefaults()
+	joiners := int(math.Round(sc.JoinFraction * float64(sc.N)))
+	total := sc.N + joiners
+	engine, net, _, members, sys := buildStack(sc)
+	rng := engine.NewStream()
+
+	engine.Run(sc.WarmupSecs)
+
+	// Phase 1: advertisements by random nodes (paper: 100, RANDOM 2√n).
+	keys := make([]string, sc.Advertisements)
+	adStart := net.Stats().Snapshot()
+	var placedSum, adDone int
+	for i := 0; i < sc.Advertisements; i++ {
+		keys[i] = fmt.Sprintf("item-%d", i)
+		origin := net.RandomAliveID(rng)
+		key, value := keys[i], fmt.Sprintf("loc-of-%d", i)
+		engine.Schedule(float64(i)*sc.AdvertiseGapSecs, func() {
+			sys.Advertise(origin, key, value, func(r quorum.AdvertiseResult) {
+				placedSum += r.Placed
+				adDone++
+			})
+		})
+	}
+	engine.Run(engine.Now() + float64(sc.Advertisements)*sc.AdvertiseGapSecs + 30)
+	adDiff := net.Stats().DiffSince(adStart)
+
+	// Churn between the phases (Section 8.7).
+	fails := int(math.Round(sc.FailFraction * float64(sc.N)))
+	if fails > 0 {
+		for _, id := range pickDistinct(rng, net, sc.N, fails) {
+			net.Fail(id)
+		}
+	}
+	for id := sc.N; id < total; id++ {
+		net.Revive(id)
+	}
+	if fails > 0 || joiners > 0 {
+		members.RefreshAll()
+		if sc.AdjustLookupSize {
+			sys.SetLookupSize(adjustedLookupSize(sc.Quorum.LookupSize, sc.N, net.NumAlive()))
+		}
+		engine.Run(engine.Now() + 5)
+	}
+
+	// Phase 2: lookups from LookupNodes random nodes (paper: 1000 by 25).
+	lkStart := net.Stats().Snapshot()
+	lookupOrigins := make([]int, sc.LookupNodes)
+	for i := range lookupOrigins {
+		lookupOrigins[i] = net.RandomAliveID(rng)
+	}
+	var hits, intersects, lkDone int
+	var latencySum float64
+	for i := 0; i < sc.Lookups; i++ {
+		origin := lookupOrigins[i%len(lookupOrigins)]
+		key := keys[rng.Intn(len(keys))]
+		if sc.LookupAbsentKeys {
+			key = fmt.Sprintf("absent-%d", i)
+		}
+		engine.Schedule(float64(i)*sc.LookupGapSecs, func() {
+			if !net.Alive(origin) {
+				lkDone++ // origin died under churn; skip silently
+				return
+			}
+			sys.Lookup(origin, key, func(r quorum.LookupResult) {
+				lkDone++
+				if r.Hit {
+					hits++
+					latencySum += r.Latency
+				}
+				if r.Intersected {
+					intersects++
+				}
+			})
+		})
+	}
+	lookupSpan := float64(sc.Lookups) * sc.LookupGapSecs
+	timeout := sys.Config().LookupTimeout
+	engine.Run(engine.Now() + lookupSpan + timeout + 30)
+	lkDiff := net.Stats().DiffSince(lkStart)
+
+	res := Result{Runs: 1, Counters: sys.Counters()}
+	if sc.Lookups > 0 {
+		res.HitRatio = float64(hits) / float64(sc.Lookups)
+		res.IntersectRatio = float64(intersects) / float64(sc.Lookups)
+		res.LookupAppMsgs = float64(lkDiff[netstack.CtrAppMsgs]) / float64(sc.Lookups)
+		res.LookupRoutingMsgs = float64(lkDiff[netstack.CtrRoutingMsgs]) / float64(sc.Lookups)
+	}
+	if intersects > 0 {
+		res.ReplyDropRatio = float64(intersects-hits) / float64(intersects)
+	}
+	if hits > 0 {
+		res.AvgLatency = latencySum / float64(hits)
+	}
+	if sc.Advertisements > 0 {
+		res.AdvertiseAppMsgs = float64(adDiff[netstack.CtrAppMsgs]) / float64(sc.Advertisements)
+		res.AdvertiseRoutingMsgs = float64(adDiff[netstack.CtrRoutingMsgs]) / float64(sc.Advertisements)
+		res.AvgPlaced = float64(placedSum) / float64(sc.Advertisements)
+	}
+	return res
+}
+
+// RunSeeds averages the scenario over `seeds` runs with seeds base,
+// base+1, … (the paper averages 10 runs per data point).
+func RunSeeds(sc Scenario, seeds int) Result {
+	if seeds < 1 {
+		seeds = 1
+	}
+	var agg Result
+	for s := 0; s < seeds; s++ {
+		r := sc
+		r.Seed = sc.Seed + int64(s)
+		one := Run(r)
+		agg.HitRatio += one.HitRatio
+		agg.IntersectRatio += one.IntersectRatio
+		agg.ReplyDropRatio += one.ReplyDropRatio
+		agg.AdvertiseAppMsgs += one.AdvertiseAppMsgs
+		agg.AdvertiseRoutingMsgs += one.AdvertiseRoutingMsgs
+		agg.LookupAppMsgs += one.LookupAppMsgs
+		agg.LookupRoutingMsgs += one.LookupRoutingMsgs
+		agg.AvgPlaced += one.AvgPlaced
+		agg.AvgLatency += one.AvgLatency
+		agg.Counters.Salvations += one.Counters.Salvations
+		agg.Counters.WalkDrops += one.Counters.WalkDrops
+		agg.Counters.ReplyDrops += one.Counters.ReplyDrops
+		agg.Counters.LocalRepairs += one.Counters.LocalRepairs
+		agg.Counters.FullRouteRepairs += one.Counters.FullRouteRepairs
+		agg.Counters.PathReductions += one.Counters.PathReductions
+		agg.Counters.Adaptations += one.Counters.Adaptations
+		agg.Counters.CacheHits += one.Counters.CacheHits
+	}
+	f := float64(seeds)
+	agg.HitRatio /= f
+	agg.IntersectRatio /= f
+	agg.ReplyDropRatio /= f
+	agg.AdvertiseAppMsgs /= f
+	agg.AdvertiseRoutingMsgs /= f
+	agg.LookupAppMsgs /= f
+	agg.LookupRoutingMsgs /= f
+	agg.AvgPlaced /= f
+	agg.AvgLatency /= f
+	agg.Runs = seeds
+	return agg
+}
+
+// pickDistinct draws k distinct live ids among 0..limit-1.
+func pickDistinct(rng *rand.Rand, net *netstack.Network, limit, k int) []int {
+	chosen := map[int]bool{}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		id := rng.Intn(limit)
+		if !chosen[id] && net.Alive(id) {
+			chosen[id] = true
+			out = append(out, id)
+		}
+		if len(chosen) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+func areaSide(n int, r, davg float64) float64 {
+	return math.Sqrt(math.Pi * r * r * float64(n) / davg)
+}
+
+// adjustedLookupSize rescales |Qℓ| with √(n(t)/n(0)) (Section 6.1's
+// |Qℓ(t)| = C√n(t)).
+func adjustedLookupSize(base, n0, nt int) int {
+	if base <= 0 || n0 <= 0 {
+		return base
+	}
+	k := int(math.Round(float64(base) * math.Sqrt(float64(nt)/float64(n0))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}

@@ -1,0 +1,457 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"probquorum/internal/analysis"
+	"probquorum/internal/quorum"
+)
+
+// mixConfig builds a quorum configuration for a strategy mix with the
+// paper's default sizes (|Qa| = 2√n, |Qℓ| = 1.15√n) and techniques enabled.
+func mixConfig(n int, adv, lk quorum.Strategy) quorum.Config {
+	return quorum.Config{
+		AdvertiseStrategy: adv, LookupStrategy: lk,
+		AdvertiseSize: quorum.AdvertiseSizeDefault(n),
+		LookupSize:    quorum.LookupSizeFor(n, 0.9),
+		AdvertiseTTL:  3, LookupTTL: 3,
+		EarlyHalt: true, Salvation: true, ReplyPathReduction: true,
+		LookupTimeout: 15,
+	}
+}
+
+// Fig8 measures the cost of RANDOM advertise (a,b) and the hit ratio of
+// RANDOM lookup (c) on static networks at d_avg = 10.
+func Fig8(p Profile, seed int64) []Table {
+	factors := []float64{0.5, 1.0, 1.5, 2.0, 2.5}
+
+	var costRows [][]string
+	for _, n := range p.Sizes {
+		for _, f := range factors {
+			qa := int(math.Round(f * sqrtN(n)))
+			sc := baseScenario(p, n, seed)
+			sc.Lookups, sc.LookupNodes = 1, 1 // advertise-phase study
+			sc.Quorum = mixConfig(n, quorum.Random, quorum.Random)
+			sc.Quorum.AdvertiseSize = qa
+			r := RunSeeds(sc, p.Seeds)
+			costRows = append(costRows, []string{
+				istr(n), fmt.Sprintf("%.1f√n=%d", f, qa),
+				f1(r.AdvertiseAppMsgs), f1(r.AdvertiseRoutingMsgs),
+				f1(r.AdvertiseAppMsgs + r.AdvertiseRoutingMsgs),
+			})
+		}
+	}
+	cost := Table{
+		Title:  "Fig. 8(a,b) — RANDOM advertise cost per request (static, d_avg=10)",
+		Header: []string{"n", "|Qa|", "msgs", "+routing", "total"},
+		Rows:   costRows,
+	}
+
+	var hitRows [][]string
+	for _, n := range p.Sizes {
+		for _, f := range []float64{0.5, 0.75, 1.0, 1.15, 1.5, 2.0} {
+			ql := int(math.Round(f * sqrtN(n)))
+			if ql < 1 {
+				ql = 1
+			}
+			sc := baseScenario(p, n, seed+7)
+			sc.Quorum = mixConfig(n, quorum.Random, quorum.Random)
+			sc.Quorum.LookupSize = ql
+			r := RunSeeds(sc, p.Seeds)
+			hitRows = append(hitRows, []string{
+				istr(n), fmt.Sprintf("%.2f√n=%d", f, ql),
+				f2(r.HitRatio), f2(1 - analysis.MissBound(n, float64(sc.Quorum.AdvertiseSize), float64(ql))),
+			})
+		}
+	}
+	hit := Table{
+		Title:  "Fig. 8(c) — RANDOM lookup hit ratio vs |Qℓ| (advertise 2√n)",
+		Header: []string{"n", "|Qℓ|", "hit ratio", "Lemma 5.2 bound"},
+		Rows:   hitRows,
+	}
+	return []Table{cost, hit}
+}
+
+// Fig9 measures the RANDOM-OPT lookup: hit ratio and message cost vs the
+// number of routed targets, static and mobile.
+func Fig9(p Profile, seed int64) []Table {
+	n := p.BigN
+	lnN := int(math.Ceil(math.Log(float64(n))))
+	targets := []int{1, 2, lnN / 2, lnN, 2 * lnN}
+	var tables []Table
+	for _, mobile := range []bool{false, true} {
+		label := "static"
+		var rows [][]string
+		for _, x := range targets {
+			if x < 1 {
+				continue
+			}
+			sc := baseScenario(p, n, seed+11)
+			if mobile {
+				label = "mobile 0.5–2 m/s"
+				sc.SpeedMin, sc.SpeedMax = 0.5, 2
+			}
+			sc.Quorum = mixConfig(n, quorum.Random, quorum.RandomOpt)
+			sc.Quorum.RandomOptTargets = x
+			r := RunSeeds(sc, p.Seeds)
+			rows = append(rows, []string{
+				istr(x), f2(r.HitRatio), f1(r.LookupAppMsgs), f1(r.LookupRoutingMsgs),
+			})
+		}
+		tables = append(tables, Table{
+			Title:  fmt.Sprintf("Fig. 9 — RANDOM-OPT lookup, n=%d, %s", n, label),
+			Header: []string{"targets X", "hit ratio", "msgs/lookup", "routing/lookup"},
+			Rows:   rows,
+		})
+	}
+	return tables
+}
+
+// Fig10 measures the UNIQUE-PATH lookup under walking-speed mobility: hit
+// ratio 0.9 at |Qℓ| ≈ 1.15√n and message cost below |Qℓ|.
+func Fig10(p Profile, seed int64) []Table {
+	var rows [][]string
+	for _, n := range p.Sizes {
+		for _, f := range []float64{0.5, 0.75, 1.0, 1.15, 1.5, 2.0} {
+			ql := int(math.Round(f * sqrtN(n)))
+			if ql < 2 {
+				ql = 2
+			}
+			sc := baseScenario(p, n, seed+13)
+			sc.SpeedMin, sc.SpeedMax = 0.5, 2
+			sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
+			sc.Quorum.LookupSize = ql
+			r := RunSeeds(sc, p.Seeds)
+			rows = append(rows, []string{
+				istr(n), fmt.Sprintf("%.2f√n=%d", f, ql),
+				f2(r.HitRatio), f1(r.LookupAppMsgs),
+				fmt.Sprint(r.LookupAppMsgs < float64(ql)+1),
+			})
+		}
+	}
+	return []Table{{
+		Title:  "Fig. 10 — RANDOM advertise × UNIQUE-PATH lookup (mobile 0.5–2 m/s)",
+		Header: []string{"n", "target |Qℓ|", "hit ratio", "msgs/lookup", "msgs<|Qℓ|"},
+		Rows:   rows,
+	}}
+}
+
+// Fig11 measures the FLOODING lookup vs TTL, static and mobile.
+func Fig11(p Profile, seed int64) []Table {
+	var tables []Table
+	for _, mobile := range []bool{false, true} {
+		label := "static"
+		var rows [][]string
+		for _, n := range p.Sizes {
+			for _, ttl := range []int{1, 2, 3, 4} {
+				sc := baseScenario(p, n, seed+17)
+				if mobile {
+					label = "mobile 0.5–2 m/s"
+					sc.SpeedMin, sc.SpeedMax = 0.5, 2
+				}
+				sc.Quorum = mixConfig(n, quorum.Random, quorum.Flooding)
+				sc.Quorum.LookupTTL = ttl
+				r := RunSeeds(sc, p.Seeds)
+				rows = append(rows, []string{
+					istr(n), istr(ttl), f2(r.HitRatio), f1(r.LookupAppMsgs),
+				})
+			}
+		}
+		tables = append(tables, Table{
+			Title:  fmt.Sprintf("Fig. 11 — RANDOM advertise × FLOODING lookup, %s", label),
+			Header: []string{"n", "TTL", "hit ratio", "msgs/lookup"},
+			Rows:   rows,
+		})
+	}
+	return tables
+}
+
+// Fig12 measures the symmetric UNIQUE-PATH × UNIQUE-PATH mix: hit ratio vs
+// the combined walk coverage (paper: 0.9 needs ≈ n/2 combined at n=800).
+func Fig12(p Profile, seed int64) []Table {
+	n := p.BigN
+	var rows [][]string
+	for _, frac := range []float64{0.06, 0.1, 0.15, 0.21, 0.25, 0.3} {
+		q := int(frac * float64(n))
+		if q < 2 {
+			q = 2
+		}
+		sc := baseScenario(p, n, seed+19)
+		sc.Quorum = mixConfig(n, quorum.UniquePath, quorum.UniquePath)
+		sc.Quorum.AdvertiseSize = q
+		sc.Quorum.LookupSize = q
+		r := RunSeeds(sc, p.Seeds)
+		rows = append(rows, []string{
+			istr(q), istr(2 * q), fmt.Sprintf("%.3f", float64(2*q)/float64(n)),
+			f2(r.HitRatio), f1(r.LookupAppMsgs),
+		})
+	}
+	return []Table{{
+		Title:  fmt.Sprintf("Fig. 12 — UNIQUE-PATH × UNIQUE-PATH, n=%d (static)", n),
+		Header: []string{"|Qa|=|Qℓ|", "combined", "combined/n", "hit ratio", "msgs/lookup"},
+		Rows:   rows,
+	}}
+}
+
+// mobilityHopDelay is the fixed per-hop latency used by the fast-mobility
+// experiments on the ideal stack: ~80 ms of queueing/channel access per
+// hop, so a full walk-and-reply round trip spans enough wall-clock time for
+// links recorded early in the walk to drift out of range at VANET speeds —
+// the effect Fig. 13 isolates. (On the SINR stack, contention produces this
+// latency naturally and the knob is ignored.)
+const mobilityHopDelay = 0.08
+
+// figSpeeds returns the mobility sweep for the profile.
+func figSpeeds(p Profile) []float64 {
+	if p.BigN >= 800 {
+		return []float64{2, 5, 10, 20}
+	}
+	return []float64{2, 5, 10, 20}
+}
+
+// Fig13 measures fast mobility *without* reply-path repair: the hit ratio
+// degrades with speed while the raw intersection probability stays flat —
+// the gap is reply loss.
+func Fig13(p Profile, seed int64) []Table {
+	n := p.BigN
+	var rows [][]string
+	for _, speed := range figSpeeds(p) {
+		sc := baseScenario(p, n, seed+23)
+		sc.SpeedMin, sc.SpeedMax = 0.5, speed
+		sc.IdealHopDelay = mobilityHopDelay
+		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
+		sc.Quorum.ReplyLocalRepair = false
+		r := RunSeeds(sc, p.Seeds)
+		rows = append(rows, []string{
+			f1(speed), f2(r.HitRatio), f2(r.IntersectRatio), f2(r.ReplyDropRatio),
+		})
+	}
+	return []Table{{
+		Title:  fmt.Sprintf("Fig. 13 — fast mobility WITHOUT reply-path repair, n=%d", n),
+		Header: []string{"max speed m/s", "hit ratio", "intersection prob", "reply drop ratio"},
+		Rows:   rows,
+	}}
+}
+
+// Fig14 measures fast mobility *with* reply-path local repair (a–d), the
+// larger advertise quorum variant (e), and churn resilience (f).
+func Fig14(p Profile, seed int64) []Table {
+	n := p.BigN
+	var rows [][]string
+	for _, speed := range figSpeeds(p) {
+		sc := baseScenario(p, n, seed+29)
+		sc.SpeedMin, sc.SpeedMax = 0.5, speed
+		sc.IdealHopDelay = mobilityHopDelay
+		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
+		sc.Quorum.ReplyLocalRepair = true
+		r := RunSeeds(sc, p.Seeds)
+		rows = append(rows, []string{
+			f1(speed), f2(r.HitRatio), f2(r.IntersectRatio),
+			f1(r.LookupAppMsgs), f1(r.LookupAppMsgs + r.LookupRoutingMsgs),
+			istr(r.Counters.LocalRepairs + r.Counters.FullRouteRepairs),
+		})
+	}
+	repair := Table{
+		Title:  fmt.Sprintf("Fig. 14(a–d) — fast mobility WITH reply-path local repair, n=%d", n),
+		Header: []string{"max speed m/s", "hit ratio", "intersection prob", "msgs/lookup", "msgs+routing/lookup", "repairs"},
+		Rows:   rows,
+	}
+
+	var bigQRows [][]string
+	for _, speed := range figSpeeds(p) {
+		sc := baseScenario(p, n, seed+31)
+		sc.SpeedMin, sc.SpeedMax = 0.5, speed
+		sc.IdealHopDelay = mobilityHopDelay
+		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
+		sc.Quorum.ReplyLocalRepair = true
+		sc.Quorum.AdvertiseSize = int(math.Round(3 * sqrtN(n)))
+		r := RunSeeds(sc, p.Seeds)
+		bigQRows = append(bigQRows, []string{f1(speed), f2(r.HitRatio)})
+	}
+	bigQ := Table{
+		Title:  "Fig. 14(e) — advertise |Q|=3√n under mobility",
+		Header: []string{"max speed m/s", "hit ratio"},
+		Rows:   bigQRows,
+	}
+	return []Table{repair, bigQ, fig14f(p, seed)}
+}
+
+// fig14f measures the intersection probability under churn (fail + join
+// between the phases) against the Section 6.1 analysis.
+func fig14f(p Profile, seed int64) Table {
+	n := p.BigN
+	eps := 0.1
+	qa, ql := quorum.SizeForEpsilon(n, eps, 1)
+	var rows [][]string
+	for _, f := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		sc := baseScenario(p, n, seed+37)
+		sc.AvgDegree = 15 // the paper's churn setup keeps the net connected
+		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
+		sc.Quorum.AdvertiseSize, sc.Quorum.LookupSize = qa, ql
+		sc.FailFraction, sc.JoinFraction = f, f
+		sc.AdjustLookupSize = true
+		r := RunSeeds(sc, p.Seeds)
+		rows = append(rows, []string{
+			f2(f), f2(r.HitRatio), f2(analysis.DegradationChurn(eps, f)),
+		})
+	}
+	return Table{
+		Title:  fmt.Sprintf("Fig. 14(f) — intersection under churn, n=%d, d_avg=15, initial 1−ε=0.9", n),
+		Header: []string{"churn fraction f", "hit ratio", "analysis 1−ε^(1−f)"},
+		Rows:   rows,
+	}
+}
+
+// Fig15 compares the three lookup strategies on the hit-ratio-vs-messages
+// plane (RANDOM advertise everywhere).
+func Fig15(p Profile, seed int64) []Table {
+	n := p.BigN
+	var rows [][]string
+	add := func(strategy string, param string, r Result) {
+		rows = append(rows, []string{
+			strategy, param, f2(r.HitRatio), f1(r.LookupAppMsgs), f1(r.LookupRoutingMsgs),
+		})
+	}
+	for _, f := range []float64{0.5, 1.0, 1.15, 1.5} {
+		ql := int(math.Round(f * sqrtN(n)))
+		sc := baseScenario(p, n, seed+41)
+		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
+		sc.Quorum.LookupSize = ql
+		add("UNIQUE-PATH", fmt.Sprintf("|Q|=%d", ql), RunSeeds(sc, p.Seeds))
+	}
+	for _, ttl := range []int{1, 2, 3, 4} {
+		sc := baseScenario(p, n, seed+43)
+		sc.Quorum = mixConfig(n, quorum.Random, quorum.Flooding)
+		sc.Quorum.LookupTTL = ttl
+		add("FLOODING", fmt.Sprintf("TTL=%d", ttl), RunSeeds(sc, p.Seeds))
+	}
+	lnN := int(math.Ceil(math.Log(float64(n))))
+	for _, x := range []int{1, 2, lnN, 2 * lnN} {
+		sc := baseScenario(p, n, seed+47)
+		sc.Quorum = mixConfig(n, quorum.Random, quorum.RandomOpt)
+		sc.Quorum.RandomOptTargets = x
+		add("RANDOM-OPT", fmt.Sprintf("X=%d", x), RunSeeds(sc, p.Seeds))
+	}
+	return []Table{{
+		Title:  fmt.Sprintf("Fig. 15 — lookup strategies: hit ratio vs messages, n=%d, RANDOM advertise 2√n", n),
+		Header: []string{"strategy", "param", "hit ratio", "msgs/lookup", "routing/lookup"},
+		Rows:   rows,
+	}}
+}
+
+// Fig16 regenerates the summary table: per-mix advertise and lookup costs
+// at intersection ≈ 0.9, static and mobile.
+func Fig16(p Profile, seed int64) []Table {
+	n := p.BigN
+	type mix struct {
+		name     string
+		adv, lk  quorum.Strategy
+		sizeTune func(*quorum.Config)
+	}
+	mixes := []mix{
+		{"RANDOM × RANDOM", quorum.Random, quorum.Random, nil},
+		{"RANDOM × RANDOM-OPT", quorum.Random, quorum.RandomOpt, nil},
+		{"RANDOM × UNIQUE-PATH", quorum.Random, quorum.UniquePath, nil},
+		{"RANDOM × FLOODING", quorum.Random, quorum.Flooding, func(c *quorum.Config) { c.LookupTTL = 3 }},
+		{"UNIQUE-PATH × UNIQUE-PATH", quorum.UniquePath, quorum.UniquePath, func(c *quorum.Config) {
+			q := int(float64(n) / 4.7)
+			c.AdvertiseSize, c.LookupSize = q, q
+		}},
+	}
+	var rows [][]string
+	for _, m := range mixes {
+		for _, mobile := range []bool{false, true} {
+			sc := baseScenario(p, n, seed+53)
+			label := "static"
+			if mobile {
+				label = "mobile"
+				sc.SpeedMin, sc.SpeedMax = 0.5, 2
+			}
+			sc.Quorum = mixConfig(n, m.adv, m.lk)
+			if m.sizeTune != nil {
+				m.sizeTune(&sc.Quorum)
+			}
+			r := RunSeeds(sc, p.Seeds)
+			// The paper's "cost of a lookup miss": same mix, absent keys.
+			missSc := sc
+			missSc.LookupAbsentKeys = true
+			missSc.Lookups = p.Lookups / 2
+			miss := RunSeeds(missSc, 1)
+			rows = append(rows, []string{
+				m.name, label,
+				f1(r.AdvertiseAppMsgs), f1(r.AdvertiseRoutingMsgs),
+				f1(r.LookupAppMsgs), f1(miss.LookupAppMsgs), f1(r.LookupRoutingMsgs),
+				f2(r.HitRatio),
+			})
+		}
+	}
+	return []Table{{
+		Title:  fmt.Sprintf("Fig. 16 — summary of strategy mixes, n=%d, d_avg=10, target intersection 0.9", n),
+		Header: []string{"mix", "net", "adv msgs", "adv routing", "hit lookup msgs", "miss lookup msgs", "lookup routing", "hit ratio"},
+		Rows:   rows,
+	}}
+}
+
+// TauSweep validates Lemma 5.6 empirically (Section 5.4): for a fixed
+// intersection target and lookup:advertise frequency ratio tau, it sweeps
+// the size ratio |Qℓ|/|Qa| (holding |Qa|·|Qℓ| ≈ n·ln(1/ε)) and measures the
+// total message cost of the whole workload. The measured minimum should sit
+// near the analytic optimum ratio Cost_a/(τ·Cost_ℓ).
+func TauSweep(p Profile, seed int64) []Table {
+	n := p.BigN
+	eps := 0.1
+	var tables []Table
+	for _, tau := range []float64{2, 10} {
+		ads := 12
+		lookups := int(float64(ads) * tau)
+		var rows [][]string
+		bestCost, bestRatio := math.Inf(1), 0.0
+		var costA, costL float64
+		for _, ratio := range []float64{0.25, 0.5, 1, 2, 4, 8, 16} {
+			qa, ql := quorum.SizeForEpsilon(n, eps, ratio)
+			if qa >= n || ql >= n/2 {
+				continue
+			}
+			sc := baseScenario(p, n, seed+61)
+			sc.Advertisements, sc.Lookups = ads, lookups
+			sc.LookupNodes = 8
+			sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
+			sc.Quorum.AdvertiseSize, sc.Quorum.LookupSize = qa, ql
+			r := RunSeeds(sc, p.Seeds)
+			total := float64(ads)*(r.AdvertiseAppMsgs+r.AdvertiseRoutingMsgs) +
+				float64(lookups)*(r.LookupAppMsgs+r.LookupRoutingMsgs)
+			if total < bestCost {
+				bestCost, bestRatio = total, ratio
+			}
+			if ratio == 1 {
+				// Per-node access costs measured at the symmetric point,
+				// feeding Lemma 5.6's prediction.
+				costA = (r.AdvertiseAppMsgs + r.AdvertiseRoutingMsgs) / float64(qa)
+				costL = (r.LookupAppMsgs + r.LookupRoutingMsgs) / float64(ql)
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%.3f", ratio), istr(qa), istr(ql),
+				f1(total), f2(r.HitRatio),
+			})
+		}
+		predicted := math.NaN()
+		if costA > 0 && costL > 0 {
+			predicted = quorum.OptimalSizeRatio(tau, costA, costL)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("measured min @ %.3f", bestRatio), "", "", f1(bestCost), "",
+		})
+		rows = append(rows, []string{
+			fmt.Sprintf("Lemma 5.6 predicts @ %.1f", predicted),
+			"", "", fmt.Sprintf("(Cost_a=%.1f, Cost_ℓ=%.1f)", costA, costL), "",
+		})
+		tables = append(tables, Table{
+			Title: fmt.Sprintf(
+				"Section 5.4 — total workload cost vs size ratio |Qℓ|/|Qa|, τ=%g", tau),
+			Header: []string{"|Qℓ|/|Qa|", "|Qa|", "|Qℓ|", "total msgs (workload)", "hit ratio"},
+			Rows:   rows,
+		})
+	}
+	return tables
+}

@@ -1,0 +1,183 @@
+package mac
+
+import (
+	"math/rand"
+
+	"probquorum/internal/geom"
+	"probquorum/internal/phy"
+	"probquorum/internal/sim"
+)
+
+// IdealNet is a contention-free unit-disk link layer shared by all nodes.
+// Unicast frames to a node in range are delivered after the frame's air
+// time; frames to out-of-range or disabled nodes fail after the same delay
+// (modelling the MAC retry sequence collapsing to a single notification).
+// Broadcast frames reach every enabled node in range.
+//
+// It preserves the link-layer behaviours the quorum protocols depend on —
+// range-limited delivery, send-failure upcalls, optional random loss — while
+// eliding contention, so large parameter sweeps run quickly. Tests and
+// experiments can swap it for the DCF MAC over a SINR medium to validate
+// fidelity.
+type IdealNet struct {
+	engine  *sim.Engine
+	cfg     Config
+	pos     phy.PositionFunc
+	r       float64
+	rng     *rand.Rand
+	macs    []*IdealMAC
+	enabled []bool
+
+	// LossProb is an optional per-frame independent loss probability for
+	// unicast data frames (after which MAC retries are modelled: a frame
+	// is lost only if all RetryLimit attempts fail) and a single-shot
+	// loss for broadcast receptions.
+	LossProb float64
+	// HopDelay adds a fixed per-frame latency (seconds) on top of the
+	// air time, modelling queueing and channel-access delay without
+	// simulating contention. Raising it exposes mobility effects (links
+	// drift while multi-hop operations are in flight), which matters for
+	// reply-path breakage experiments (the paper's Fig. 13).
+	HopDelay float64
+}
+
+// NewIdealNet creates the shared layer for n nodes with transmission range r.
+func NewIdealNet(engine *sim.Engine, cfg Config, n int, r float64, pos phy.PositionFunc, rng *rand.Rand) *IdealNet {
+	in := &IdealNet{
+		engine:  engine,
+		cfg:     cfg,
+		pos:     pos,
+		r:       r,
+		rng:     rng,
+		macs:    make([]*IdealMAC, n),
+		enabled: make([]bool, n),
+	}
+	for i := range in.macs {
+		in.macs[i] = &IdealMAC{net: in, id: i}
+		in.enabled[i] = true
+	}
+	return in
+}
+
+// MAC returns node id's link layer.
+func (in *IdealNet) MAC(id int) *IdealMAC { return in.macs[id] }
+
+// SetEnabled includes or excludes a node (churn).
+func (in *IdealNet) SetEnabled(id int, on bool) { in.enabled[id] = on }
+
+// Enabled reports node participation.
+func (in *IdealNet) Enabled(id int) bool { return in.enabled[id] }
+
+// Range returns the transmission range.
+func (in *IdealNet) Range() float64 { return in.r }
+
+// IdealMAC is one node's attachment to an IdealNet.
+type IdealMAC struct {
+	net         *IdealNet
+	id          int
+	handler     Handler
+	promiscuous bool
+	pending     int
+	seq         uint32
+}
+
+var _ MAC = (*IdealMAC)(nil)
+
+// SetHandler implements MAC.
+func (m *IdealMAC) SetHandler(h Handler) { m.handler = h }
+
+// SetPromiscuous implements MAC. Overhearing on the ideal layer delivers
+// unicast frames to all other enabled nodes in range of the sender.
+func (m *IdealMAC) SetPromiscuous(on bool) { m.promiscuous = on }
+
+// QueueLen implements MAC.
+func (m *IdealMAC) QueueLen() int { return m.pending }
+
+// Send implements MAC.
+func (m *IdealMAC) Send(f *phy.Frame) {
+	in := m.net
+	f.Src = m.id
+	f.Kind = phy.FrameData
+	m.seq++
+	f.Seq = m.seq
+	f.Bytes += in.cfg.HeaderBytes
+	if f.Dst == phy.Broadcast {
+		f.Rate = in.cfg.BroadcastRate
+	} else {
+		f.Rate = in.cfg.UnicastRate
+	}
+	air := f.AirTime(192e-6) + in.cfg.DIFS + in.HopDelay
+	m.pending++
+	in.engine.Schedule(air, func() { m.deliver(f) })
+}
+
+func (m *IdealMAC) deliver(f *phy.Frame) {
+	in := m.net
+	m.pending--
+	if !in.enabled[m.id] {
+		m.done(f, false)
+		return
+	}
+	src := in.pos(m.id)
+	if f.Dst == phy.Broadcast {
+		for id, mac := range in.macs {
+			if id == m.id || !in.enabled[id] {
+				continue
+			}
+			if geom.Dist(src, in.pos(id)) <= in.r && !in.lost(1) {
+				if mac.handler != nil {
+					mac.handler.MACReceive(f)
+				}
+			}
+		}
+		m.done(f, true)
+		return
+	}
+	dst := f.Dst
+	ok := in.enabled[dst] && geom.Dist(src, in.pos(dst)) <= in.r && !in.lost(in.cfg.RetryLimit)
+	if ok {
+		if h := in.macs[dst].handler; h != nil {
+			h.MACReceive(f)
+		}
+		if m.promiscuousDeliver(f, src) {
+			// overhearing handled inside
+		}
+	}
+	m.done(f, ok)
+}
+
+// promiscuousDeliver hands a unicast frame to promiscuous neighbors.
+func (m *IdealMAC) promiscuousDeliver(f *phy.Frame, src geom.Point) bool {
+	in := m.net
+	any := false
+	for id, mac := range in.macs {
+		if id == m.id || id == f.Dst || !in.enabled[id] || !mac.promiscuous {
+			continue
+		}
+		if geom.Dist(src, in.pos(id)) <= in.r && mac.handler != nil {
+			mac.handler.MACOverhear(f)
+			any = true
+		}
+	}
+	return any
+}
+
+// lost samples the loss model: a frame is lost only if `attempts`
+// independent tries all fail.
+func (in *IdealNet) lost(attempts int) bool {
+	if in.LossProb <= 0 {
+		return false
+	}
+	for i := 0; i < attempts; i++ {
+		if in.rng.Float64() >= in.LossProb {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *IdealMAC) done(f *phy.Frame, ok bool) {
+	if m.handler != nil {
+		m.handler.MACSendDone(f, ok)
+	}
+}

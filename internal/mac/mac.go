@@ -1,0 +1,91 @@
+// Package mac provides link layers for the simulator:
+//
+//   - DCF: an 802.11-flavoured CSMA/CA MAC (DIFS/SIFS, slotted exponential
+//     backoff, unicast DATA/ACK with up to 7 retransmissions, broadcast
+//     without acknowledgment) running over a phy.Medium. Its send-failure
+//     upcall is the cross-layer notification the paper relies on for random
+//     walk salvation and reply-path repair (Section 6.2).
+//   - Ideal: a contention-free MAC over a unit-disk world, used by tests and
+//     fast parameter sweeps.
+package mac
+
+import (
+	"math/rand"
+
+	"probquorum/internal/phy"
+)
+
+// Handler receives MAC indications.
+type Handler interface {
+	// MACReceive delivers a frame addressed to this node (or broadcast).
+	MACReceive(f *phy.Frame)
+	// MACSendDone reports the fate of a frame passed to Send: for unicast,
+	// ok means the MAC-level ACK arrived; for broadcast, ok is always true
+	// once the frame has been transmitted. A false result is the paper's
+	// "MAC-level notification" used for salvation and repair.
+	MACSendDone(f *phy.Frame, ok bool)
+	// MACOverhear delivers frames decoded in promiscuous mode that are
+	// addressed to some other node. Only called when promiscuous mode is
+	// enabled on the MAC.
+	MACOverhear(f *phy.Frame)
+}
+
+// MAC is the link-layer service used by the network layer.
+type MAC interface {
+	// Send queues f for transmission. f.Src is set to this node. Results
+	// are reported via the handler's MACSendDone.
+	Send(f *phy.Frame)
+	// SetHandler registers the layer above.
+	SetHandler(h Handler)
+	// SetPromiscuous toggles delivery of overheard frames.
+	SetPromiscuous(on bool)
+	// QueueLen returns the number of frames queued or in flight.
+	QueueLen() int
+}
+
+// Config holds 802.11 DSSS MAC timing and size constants (paper Fig. 2).
+type Config struct {
+	// SlotTime is the backoff slot duration (20 µs).
+	SlotTime float64
+	// SIFS is the short interframe space (10 µs).
+	SIFS float64
+	// DIFS is the distributed interframe space (50 µs).
+	DIFS float64
+	// CWMin and CWMax bound the contention window in slots (31, 1023).
+	CWMin, CWMax int
+	// RetryLimit is the maximum number of transmission attempts for a
+	// unicast frame (paper: 7).
+	RetryLimit int
+	// UnicastRate and BroadcastRate are modulation rates in bits/s
+	// (11 Mb/s and 2 Mb/s).
+	UnicastRate, BroadcastRate float64
+	// AckRate is the control-frame rate (2 Mb/s).
+	AckRate float64
+	// HeaderBytes is the MAC header+FCS size added to every data frame.
+	HeaderBytes int
+	// AckBytes is the ACK frame size.
+	AckBytes int
+	// QueueLimit caps the interface queue (ns-2 IFQ default: 50).
+	QueueLimit int
+}
+
+// DefaultConfig returns the paper's MAC constants.
+func DefaultConfig() Config {
+	return Config{
+		SlotTime:      20e-6,
+		SIFS:          10e-6,
+		DIFS:          50e-6,
+		CWMin:         31,
+		CWMax:         1023,
+		RetryLimit:    7,
+		UnicastRate:   11e6,
+		BroadcastRate: 2e6,
+		AckRate:       2e6,
+		HeaderBytes:   28,
+		AckBytes:      14,
+		QueueLimit:    50,
+	}
+}
+
+// drawBackoff picks a uniform backoff in [0, cw] slots.
+func drawBackoff(rng *rand.Rand, cw int) int { return rng.Intn(cw + 1) }

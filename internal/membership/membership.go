@@ -1,0 +1,221 @@
+// Package membership provides each node with a uniform random sample of
+// live node ids — the paper's random membership service (Section 4.1).
+//
+// The paper's simulations construct membership with RaWMS during a 200 s
+// warm-up and then amortize its cost across quorum accesses, so every node
+// holds 2√n uniformly random ids. This package reproduces that steady state
+// in two ways:
+//
+//   - the default oracle refresher draws each node's view uniformly from
+//     the currently live nodes, refreshed periodically, so views go stale
+//     under churn exactly as a real membership service's do between
+//     refreshes;
+//   - an optional random-walk refresher draws view entries as endpoints of
+//     maximum-degree random walks on a snapshot of the connectivity graph,
+//     reproducing RaWMS's sampling mechanism (at zero message cost, per the
+//     paper's amortization argument, documented in DESIGN.md).
+package membership
+
+import (
+	"math"
+	"math/rand"
+
+	"probquorum/internal/graph"
+	"probquorum/internal/netstack"
+	"probquorum/internal/sim"
+)
+
+// Mode selects how views are drawn.
+type Mode int
+
+// Sampling modes.
+const (
+	// ModeOracle draws views uniformly from the live node set.
+	ModeOracle Mode = iota + 1
+	// ModeRandomWalk draws views as max-degree random-walk endpoints on a
+	// connectivity-graph snapshot (RaWMS-style).
+	ModeRandomWalk
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// ViewSize is each node's membership list length (paper: 2√n). Zero
+	// derives 2√n from the network size.
+	ViewSize int
+	// RefreshSecs is the view refresh period (default 30 s). Views are
+	// stale between refreshes, which is what makes RANDOM quorums degrade
+	// under churn until the membership catches up.
+	RefreshSecs float64
+	// Mode selects the sampler (default ModeOracle).
+	Mode Mode
+	// WalkLength is the RaWMS walk length for ModeRandomWalk (default
+	// n/2, the paper's mixing-time estimate for G²(n,r)).
+	WalkLength int
+}
+
+// Service maintains per-node membership views.
+type Service struct {
+	net   *netstack.Network
+	cfg   Config
+	rng   *rand.Rand
+	views [][]int
+}
+
+// New builds the service and fills initial views (the paper's warmed-up
+// state). Refreshes continue every cfg.RefreshSecs.
+func New(net *netstack.Network, cfg Config) *Service {
+	if cfg.ViewSize == 0 {
+		cfg.ViewSize = DefaultViewSize(net.N())
+	}
+	if cfg.RefreshSecs == 0 {
+		cfg.RefreshSecs = 30
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeOracle
+	}
+	if cfg.WalkLength == 0 {
+		cfg.WalkLength = net.N() / 2
+	}
+	s := &Service{
+		net:   net,
+		cfg:   cfg,
+		rng:   net.Engine().NewStream(),
+		views: make([][]int, net.N()),
+	}
+	s.RefreshAll()
+	sim.NewTicker(net.Engine(), cfg.RefreshSecs, cfg.RefreshSecs, s.RefreshAll)
+	return s
+}
+
+// DefaultViewSize returns the paper's membership list size 2√n (at least 1).
+func DefaultViewSize(n int) int {
+	k := int(math.Ceil(2 * math.Sqrt(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// RefreshAll redraws every live node's view.
+func (s *Service) RefreshAll() {
+	switch s.cfg.Mode {
+	case ModeOracle:
+		s.refreshOracle()
+	case ModeRandomWalk:
+		s.refreshRandomWalk()
+	}
+}
+
+func (s *Service) refreshOracle() {
+	alive := s.net.AliveIDs()
+	for id := range s.views {
+		if !s.net.Alive(id) {
+			s.views[id] = nil
+			continue
+		}
+		s.views[id] = sampleDistinct(s.rng, alive, id, s.cfg.ViewSize)
+	}
+}
+
+func (s *Service) refreshRandomWalk() {
+	g := s.snapshotGraph()
+	for id := range s.views {
+		if !s.net.Alive(id) {
+			s.views[id] = nil
+			continue
+		}
+		view := make([]int, 0, s.cfg.ViewSize)
+		seen := map[int]bool{id: true}
+		// Each entry is an independent MD-walk endpoint; collisions are
+		// redrawn, bounded to keep termination certain on small graphs.
+		for attempts := 0; len(view) < s.cfg.ViewSize && attempts < 4*s.cfg.ViewSize; attempts++ {
+			end := graph.Sample(g, s.rng, id, s.cfg.WalkLength)
+			if !seen[end] && s.net.Alive(end) {
+				seen[end] = true
+				view = append(view, end)
+			}
+		}
+		s.views[id] = view
+	}
+}
+
+// snapshotGraph builds the current connectivity graph from the network's
+// neighbor relation.
+func (s *Service) snapshotGraph() *graph.Graph {
+	g := graph.New(s.net.N())
+	for id := 0; id < s.net.N(); id++ {
+		if !s.net.Alive(id) {
+			continue
+		}
+		for _, nb := range s.net.Neighbors(id) {
+			if nb > id {
+				g.AddEdge(id, nb)
+			}
+		}
+	}
+	return g
+}
+
+// View returns node id's current membership list. The slice is owned by the
+// service; do not modify.
+func (s *Service) View(id int) []int { return s.views[id] }
+
+// Pick returns up to k distinct ids drawn without replacement from node
+// id's view — the RANDOM strategy's quorum selection. Requesting more than
+// the view holds returns the whole view (the paper's cost plateau for
+// |Q| ≥ 2√n, Section 8.1).
+func (s *Service) Pick(rng *rand.Rand, id, k int) []int {
+	view := s.views[id]
+	if k >= len(view) {
+		out := make([]int, len(view))
+		copy(out, view)
+		return out
+	}
+	idx := rng.Perm(len(view))[:k]
+	out := make([]int, k)
+	for i, j := range idx {
+		out[i] = view[j]
+	}
+	return out
+}
+
+// sampleDistinct draws k distinct elements of pool, excluding exclude.
+func sampleDistinct(rng *rand.Rand, pool []int, exclude, k int) []int {
+	candidates := make([]int, 0, len(pool))
+	for _, v := range pool {
+		if v != exclude {
+			candidates = append(candidates, v)
+		}
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	// Partial Fisher–Yates shuffle.
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(candidates)-i)
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	}
+	return candidates[:k]
+}
+
+// EstimateN estimates the network size from random-walk endpoint collisions
+// via the birthday paradox (Section 6.3): k walk endpoints yield on average
+// C(k,2)/n colliding pairs. It returns the estimate and the number of
+// collisions observed.
+func EstimateN(g *graph.Graph, rng *rand.Rand, start, walks, length int) (float64, int) {
+	ends := make([]int, walks)
+	for i := range ends {
+		ends[i] = graph.Sample(g, rng, start, length)
+	}
+	collisions := 0
+	seen := make(map[int]int)
+	for _, e := range ends {
+		collisions += seen[e]
+		seen[e]++
+	}
+	if collisions == 0 {
+		return math.Inf(1), 0
+	}
+	pairs := float64(walks*(walks-1)) / 2
+	return pairs / float64(collisions), collisions
+}

@@ -1,0 +1,109 @@
+package netstack
+
+import (
+	"sort"
+
+	"probquorum/internal/geom"
+	"probquorum/internal/sim"
+)
+
+// NeighborProvider reports each node's current one-hop neighborhood.
+type NeighborProvider interface {
+	// Neighbors returns the ids a node can currently talk to directly.
+	// The returned slice is reused between calls.
+	Neighbors(id int) []int
+}
+
+// oracleNeighbors computes neighborhoods geometrically from true positions —
+// the idealization of a perfectly fresh heartbeat protocol.
+type oracleNeighbors struct {
+	net     *Network
+	scratch []int
+}
+
+func newOracleNeighbors(net *Network) *oracleNeighbors {
+	return &oracleNeighbors{net: net}
+}
+
+func (o *oracleNeighbors) Neighbors(id int) []int {
+	net := o.net
+	r2 := net.Range() * net.Range()
+	p := net.Position(id)
+	o.scratch = o.scratch[:0]
+	for other := range net.nodes {
+		if other == id || !net.alive[other] {
+			continue
+		}
+		if geom.Dist2(p, net.Position(other)) <= r2 {
+			o.scratch = append(o.scratch, other)
+		}
+	}
+	return o.scratch
+}
+
+// beaconBytes is the size of a heartbeat beacon payload.
+const beaconBytes = 20
+
+// heartbeatService implements the paper's neighbor discovery: every node
+// broadcasts a beacon each cycle (10 s by default), with a random phase to
+// desynchronize; a neighbor entry expires when no beacon has been heard for
+// just over two cycles. Stale entries are exactly the mobility artifact the
+// paper's salvation/repair techniques must cope with.
+type heartbeatService struct {
+	net      *Network
+	interval float64
+	timeout  float64
+	lastSeen []map[int]float64 // id -> neighbor -> last beacon time
+	scratch  []int
+}
+
+func newHeartbeatService(net *Network, interval float64) *heartbeatService {
+	h := &heartbeatService{
+		net:      net,
+		interval: interval,
+		timeout:  2.2 * interval,
+		lastSeen: make([]map[int]float64, net.N()),
+	}
+	rng := net.engine.NewStream()
+	for id := 0; id < net.N(); id++ {
+		h.lastSeen[id] = make(map[int]float64)
+		node := net.Node(id)
+		node.Register(ProtoBeacon, h)
+		phase := rng.Float64() * interval
+		sim.NewTicker(net.engine, phase, interval, func() { h.beacon(node) })
+	}
+	return h
+}
+
+func (h *heartbeatService) beacon(n *Node) {
+	if !n.Alive() {
+		return
+	}
+	n.BroadcastOneHop(&Packet{
+		Proto: ProtoBeacon,
+		Src:   n.ID(),
+		Dst:   Broadcast,
+		Bytes: beaconBytes,
+	}, nil)
+}
+
+// HandlePacket implements Handler: record the beacon sender.
+func (h *heartbeatService) HandlePacket(n *Node, pkt *Packet, from int) {
+	h.lastSeen[n.ID()][from] = h.net.engine.Now()
+}
+
+// Neighbors implements NeighborProvider. The result is sorted so that runs
+// are deterministic despite map iteration order.
+func (h *heartbeatService) Neighbors(id int) []int {
+	now := h.net.engine.Now()
+	h.scratch = h.scratch[:0]
+	for nb, seen := range h.lastSeen[id] {
+		if now-seen <= h.timeout && h.net.alive[nb] {
+			h.scratch = append(h.scratch, nb)
+		} else if now-seen > h.timeout {
+			delete(h.lastSeen[id], nb)
+		}
+	}
+	sort.Ints(h.scratch)
+	return h.scratch
+}

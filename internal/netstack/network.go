@@ -1,0 +1,294 @@
+package netstack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"probquorum/internal/geom"
+	"probquorum/internal/mac"
+	"probquorum/internal/mobility"
+	"probquorum/internal/phy"
+	"probquorum/internal/sim"
+)
+
+// StackKind selects the link/physical fidelity of a network.
+type StackKind int
+
+// Stack kinds.
+const (
+	// StackSINR runs the 802.11 DCF MAC over the cumulative-noise SINR
+	// medium — the paper-faithful configuration.
+	StackSINR StackKind = iota + 1
+	// StackDisk runs the DCF MAC over the protocol-model (unit disk)
+	// medium.
+	StackDisk
+	// StackIdeal runs the contention-free unit-disk MAC, for tests and
+	// fast sweeps.
+	StackIdeal
+)
+
+// NeighborMode selects how nodes learn their one-hop neighborhood.
+type NeighborMode int
+
+// Neighbor discovery modes.
+const (
+	// NeighborsHeartbeat discovers neighbors with periodic beacons, as in
+	// the paper (heartbeat cycle 10 s).
+	NeighborsHeartbeat NeighborMode = iota + 1
+	// NeighborsOracle computes neighborhoods geometrically, with no
+	// beacon traffic. Useful for fast sweeps and unit tests.
+	NeighborsOracle
+)
+
+// Config describes a network to build.
+type Config struct {
+	// N is the number of nodes (ids 0..N-1).
+	N int
+	// Side is the deployment area side length in meters. If zero it is
+	// derived from AvgDegree via the paper's scaling rule.
+	Side float64
+	// AvgDegree is the target average node degree used to derive Side
+	// when Side is zero (paper default: 10).
+	AvgDegree float64
+	// Mobility positions the nodes. If nil, nodes are placed uniformly
+	// at random and remain static.
+	Mobility mobility.Model
+	// Stack selects the PHY/MAC fidelity (default StackSINR).
+	Stack StackKind
+	// Range is the nominal transmission range used by the disk and ideal
+	// stacks and by oracle neighbor discovery (default 200 m; the SINR
+	// stack derives its own ≈213 m from the radio parameters).
+	Range float64
+	// MAC holds 802.11 constants (zero value → mac.DefaultConfig()).
+	MAC mac.Config
+	// PHY holds radio parameters (zero value → phy.DefaultParams()).
+	PHY phy.Params
+	// Neighbors selects neighbor discovery (default NeighborsHeartbeat
+	// for SINR/Disk stacks, NeighborsOracle for the ideal stack).
+	Neighbors NeighborMode
+	// HeartbeatSecs is the beacon period (paper: 10 s).
+	HeartbeatSecs float64
+	// LossProb is the per-attempt loss probability for the ideal stack.
+	LossProb float64
+	// IdealHopDelay adds fixed per-hop latency on the ideal stack
+	// (models queueing/channel access without contention).
+	IdealHopDelay float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.AvgDegree == 0 {
+		c.AvgDegree = 10
+	}
+	if c.Range == 0 {
+		c.Range = 200
+	}
+	if c.Side == 0 {
+		c.Side = geom.AreaSide(c.N, c.Range, c.AvgDegree)
+	}
+	if c.Stack == 0 {
+		c.Stack = StackSINR
+	}
+	if c.MAC == (mac.Config{}) {
+		c.MAC = mac.DefaultConfig()
+	}
+	if c.PHY == (phy.Params{}) {
+		c.PHY = phy.DefaultParams()
+	}
+	if c.Neighbors == 0 {
+		if c.Stack == StackIdeal {
+			c.Neighbors = NeighborsOracle
+		} else {
+			c.Neighbors = NeighborsHeartbeat
+		}
+	}
+	if c.HeartbeatSecs == 0 {
+		c.HeartbeatSecs = 10
+	}
+}
+
+// Network owns the nodes, the shared medium, liveness (churn), message
+// accounting, and neighbor discovery for one simulation run.
+type Network struct {
+	engine *sim.Engine
+	cfg    Config
+	stats  *Stats
+	mob    mobility.Model
+	nodes  []*Node
+	alive  []bool
+	nAlive int
+
+	medium    phy.Medium    // nil for the ideal stack
+	ideal     *mac.IdealNet // nil for SINR/disk stacks
+	neighbors NeighborProvider
+	protoCtr  map[ProtocolID]string
+}
+
+// New builds a network of cfg.N nodes on the engine.
+func New(engine *sim.Engine, cfg Config) *Network {
+	cfg.fillDefaults()
+	if cfg.N <= 0 {
+		panic("netstack: Config.N must be positive")
+	}
+	net := &Network{
+		engine: engine,
+		cfg:    cfg,
+		stats:  NewStats(),
+		nodes:  make([]*Node, cfg.N),
+		alive:  make([]bool, cfg.N),
+		nAlive: cfg.N,
+		protoCtr: map[ProtocolID]string{
+			ProtoBeacon: CtrBeaconMsgs,
+			ProtoAODV:   CtrRoutingMsgs,
+			ProtoQuorum: CtrAppMsgs,
+		},
+	}
+	if cfg.Mobility == nil {
+		net.mob = mobility.NewStaticUniform(engine.NewStream(), cfg.N, cfg.Side)
+	} else {
+		net.mob = cfg.Mobility
+	}
+	for i := range net.alive {
+		net.alive[i] = true
+	}
+	pos := func(id int) geom.Point { return net.mob.Position(id, engine.Now()) }
+
+	switch cfg.Stack {
+	case StackSINR:
+		m := phy.NewSINRMedium(engine, phy.SINRConfig{
+			N: cfg.N, Side: cfg.Side, Pos: pos,
+			MaxSpeed: net.mob.MaxSpeed(), Params: cfg.PHY,
+		})
+		net.medium = m
+		for i := 0; i < cfg.N; i++ {
+			net.nodes[i] = newNode(net, i, mac.NewDCF(engine, cfg.MAC, i, m, engine.NewStream()))
+		}
+	case StackDisk:
+		m := phy.NewDiskMedium(engine, phy.DiskConfig{
+			N: cfg.N, Side: cfg.Side, Pos: pos,
+			MaxSpeed: net.mob.MaxSpeed(), Range: cfg.Range,
+		})
+		net.medium = m
+		for i := 0; i < cfg.N; i++ {
+			net.nodes[i] = newNode(net, i, mac.NewDCF(engine, cfg.MAC, i, m, engine.NewStream()))
+		}
+	case StackIdeal:
+		in := mac.NewIdealNet(engine, cfg.MAC, cfg.N, cfg.Range, pos, engine.NewStream())
+		in.LossProb = cfg.LossProb
+		in.HopDelay = cfg.IdealHopDelay
+		net.ideal = in
+		for i := 0; i < cfg.N; i++ {
+			net.nodes[i] = newNode(net, i, in.MAC(i))
+		}
+	default:
+		panic(fmt.Sprintf("netstack: unknown stack kind %d", cfg.Stack))
+	}
+
+	switch cfg.Neighbors {
+	case NeighborsOracle:
+		net.neighbors = newOracleNeighbors(net)
+	case NeighborsHeartbeat:
+		net.neighbors = newHeartbeatService(net, cfg.HeartbeatSecs)
+	}
+	return net
+}
+
+// Engine returns the simulation engine.
+func (net *Network) Engine() *sim.Engine { return net.engine }
+
+// Stats returns the shared counters.
+func (net *Network) Stats() *Stats { return net.stats }
+
+// Config returns the (default-filled) configuration.
+func (net *Network) Config() Config { return net.cfg }
+
+// N returns the total node count (alive or not).
+func (net *Network) N() int { return len(net.nodes) }
+
+// Node returns node id's network layer.
+func (net *Network) Node(id int) *Node { return net.nodes[id] }
+
+// Position returns node id's current position.
+func (net *Network) Position(id int) geom.Point {
+	return net.mob.Position(id, net.engine.Now())
+}
+
+// Mobility returns the movement model.
+func (net *Network) Mobility() mobility.Model { return net.mob }
+
+// Range returns the nominal transmission range for neighborhood purposes.
+func (net *Network) Range() float64 {
+	if m, ok := net.medium.(*phy.SINRMedium); ok {
+		return m.Params().ReceptionRange()
+	}
+	return net.cfg.Range
+}
+
+// Alive reports whether node id is up.
+func (net *Network) Alive(id int) bool { return net.alive[id] }
+
+// NumAlive returns the number of live nodes.
+func (net *Network) NumAlive() int { return net.nAlive }
+
+// AliveIDs returns the ids of all live nodes.
+func (net *Network) AliveIDs() []int {
+	ids := make([]int, 0, net.nAlive)
+	for id, a := range net.alive {
+		if a {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// RandomAliveID returns a uniformly random live node id.
+func (net *Network) RandomAliveID(rng *rand.Rand) int {
+	for {
+		id := rng.Intn(len(net.nodes))
+		if net.alive[id] {
+			return id
+		}
+	}
+}
+
+// Fail crashes node id: it stops transmitting, receiving, and interfering.
+func (net *Network) Fail(id int) {
+	if !net.alive[id] {
+		return
+	}
+	net.alive[id] = false
+	net.nAlive--
+	net.setMediumEnabled(id, false)
+}
+
+// Revive (re)joins node id at its current mobility position.
+func (net *Network) Revive(id int) {
+	if net.alive[id] {
+		return
+	}
+	net.alive[id] = true
+	net.nAlive++
+	net.setMediumEnabled(id, true)
+}
+
+func (net *Network) setMediumEnabled(id int, on bool) {
+	if net.medium != nil {
+		net.medium.SetEnabled(id, on)
+	}
+	if net.ideal != nil {
+		net.ideal.SetEnabled(id, on)
+	}
+}
+
+// Neighbors returns node id's current one-hop neighbor ids. The slice is
+// owned by the provider and valid until the next call.
+func (net *Network) Neighbors(id int) []int { return net.neighbors.Neighbors(id) }
+
+// countSend tallies one MAC transmission of pkt under its protocol's
+// counter class.
+func (net *Network) countSend(pkt *Packet) {
+	ctr, ok := net.protoCtr[pkt.Proto]
+	if !ok {
+		ctr = CtrAppMsgs
+	}
+	net.stats.Inc(ctr, 1)
+}

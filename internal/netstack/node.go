@@ -1,0 +1,139 @@
+package netstack
+
+import (
+	"fmt"
+
+	"probquorum/internal/mac"
+	"probquorum/internal/phy"
+)
+
+// Handler processes packets delivered to a node for a registered protocol.
+type Handler interface {
+	// HandlePacket is invoked with the receiving node, the packet, and
+	// the previous-hop node id. The packet must be treated as read-only;
+	// Clone before forwarding.
+	HandlePacket(n *Node, pkt *Packet, from int)
+}
+
+// OverhearFunc observes packets captured in promiscuous mode.
+type OverhearFunc func(n *Node, pkt *Packet, from int)
+
+// Node is one station's network layer: it demultiplexes packets to protocol
+// handlers, provides one-hop unicast with delivery feedback (the MAC-level
+// notification of Section 6.2) and one-hop broadcast, and counts messages.
+type Node struct {
+	net      *Network
+	id       int
+	mac      mac.MAC
+	protos   map[ProtocolID]Handler
+	cbs      map[*phy.Frame]func(ok bool)
+	overhear []OverhearFunc
+}
+
+func newNode(net *Network, id int, m mac.MAC) *Node {
+	n := &Node{
+		net:    net,
+		id:     id,
+		mac:    m,
+		protos: make(map[ProtocolID]Handler),
+		cbs:    make(map[*phy.Frame]func(bool)),
+	}
+	m.SetHandler(n)
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Net returns the network the node belongs to.
+func (n *Node) Net() *Network { return n.net }
+
+// Alive reports whether the node is currently up.
+func (n *Node) Alive() bool { return n.net.Alive(n.id) }
+
+// Register binds a protocol handler. Registering the same protocol twice is
+// a wiring bug and panics.
+func (n *Node) Register(proto ProtocolID, h Handler) {
+	if _, dup := n.protos[proto]; dup {
+		panic(fmt.Sprintf("netstack: node %d: protocol %d registered twice", n.id, proto))
+	}
+	n.protos[proto] = h
+}
+
+// AddOverhearTap registers a promiscuous-mode observer and enables
+// promiscuous reception on the MAC.
+func (n *Node) AddOverhearTap(f OverhearFunc) {
+	n.overhear = append(n.overhear, f)
+	n.mac.SetPromiscuous(true)
+}
+
+// SendOneHop transmits pkt to the direct neighbor next. done (may be nil)
+// reports link-layer success: true once the MAC ACK arrives, false after
+// the MAC exhausts its retransmissions. This is the cross-layer failure
+// notification used for RW salvation and reply-path repair.
+func (n *Node) SendOneHop(next int, pkt *Packet, done func(ok bool)) {
+	if !n.Alive() {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	f := &phy.Frame{Dst: next, Bytes: pkt.Bytes + IPHeaderBytes, Payload: pkt}
+	if done != nil {
+		n.cbs[f] = done
+	}
+	n.net.countSend(pkt)
+	n.mac.Send(f)
+}
+
+// BroadcastOneHop transmits pkt to all direct neighbors. done (may be nil)
+// fires when the frame has been transmitted.
+func (n *Node) BroadcastOneHop(pkt *Packet, done func()) {
+	if !n.Alive() {
+		return
+	}
+	f := &phy.Frame{Dst: Broadcast, Bytes: pkt.Bytes + IPHeaderBytes, Payload: pkt}
+	if done != nil {
+		n.cbs[f] = func(bool) { done() }
+	}
+	n.net.countSend(pkt)
+	n.mac.Send(f)
+}
+
+// MACReceive implements mac.Handler.
+func (n *Node) MACReceive(f *phy.Frame) {
+	if !n.Alive() {
+		return
+	}
+	pkt, ok := f.Payload.(*Packet)
+	if !ok {
+		return
+	}
+	if h := n.protos[pkt.Proto]; h != nil {
+		h.HandlePacket(n, pkt, f.Src)
+	}
+}
+
+// MACOverhear implements mac.Handler.
+func (n *Node) MACOverhear(f *phy.Frame) {
+	if !n.Alive() {
+		return
+	}
+	pkt, ok := f.Payload.(*Packet)
+	if !ok {
+		return
+	}
+	for _, tap := range n.overhear {
+		tap(n, pkt, f.Src)
+	}
+}
+
+// MACSendDone implements mac.Handler.
+func (n *Node) MACSendDone(f *phy.Frame, ok bool) {
+	if cb, found := n.cbs[f]; found {
+		delete(n.cbs, f)
+		cb(ok)
+	}
+}
+
+var _ mac.Handler = (*Node)(nil)

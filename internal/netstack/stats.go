@@ -1,0 +1,72 @@
+package netstack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is a bag of named counters shared by a simulation run. It is not
+// safe for concurrent use; the discrete-event engine is single-threaded.
+type Stats struct {
+	counters map[string]int64
+}
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]int64)}
+}
+
+// Inc adds delta to the named counter.
+func (s *Stats) Inc(name string, delta int64) { s.counters[name] += delta }
+
+// Get returns the named counter's value (zero if never incremented).
+func (s *Stats) Get(name string) int64 { return s.counters[name] }
+
+// Snapshot returns a copy of all counters, e.g. to diff around an
+// experiment phase.
+func (s *Stats) Snapshot() map[string]int64 {
+	cp := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		cp[k] = v
+	}
+	return cp
+}
+
+// DiffSince returns counter deltas relative to an earlier snapshot.
+func (s *Stats) DiffSince(snap map[string]int64) map[string]int64 {
+	d := make(map[string]int64)
+	for k, v := range s.counters {
+		if dv := v - snap[k]; dv != 0 {
+			d[k] = dv
+		}
+	}
+	return d
+}
+
+// String renders the counters sorted by name, one per line.
+func (s *Stats) String() string {
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-32s %d\n", k, s.counters[k])
+	}
+	return b.String()
+}
+
+// Counter names used across the stack.
+const (
+	// CtrAppMsgs counts network-layer transmissions of application
+	// (quorum) packets — the paper's "number of messages".
+	CtrAppMsgs = "msgs.app"
+	// CtrRoutingMsgs counts AODV control transmissions — the paper's
+	// "additional routing overhead".
+	CtrRoutingMsgs = "msgs.routing"
+	// CtrBeaconMsgs counts heartbeat beacons (amortized per the paper,
+	// reported separately).
+	CtrBeaconMsgs = "msgs.beacon"
+)

@@ -1,0 +1,256 @@
+package phy
+
+import (
+	"probquorum/internal/geom"
+	"probquorum/internal/sim"
+)
+
+// DiskMedium implements the paper's protocol reception model (Section 2.3):
+// all transmission ranges equal r; a frame from i is received by j iff
+// |Xi−Xj| ≤ r and every other node k transmitting at any point during the
+// frame satisfies |Xk−Xj| ≥ (1+Δ)·r. It is cheaper than SINRMedium and is
+// the model under which the paper's formal analysis is carried out.
+type DiskMedium struct {
+	engine *sim.Engine
+	world  *world
+
+	r            float64 // transmission range
+	intfRange    float64 // (1+Δ)·r
+	csRange      float64 // carrier-sense range
+	plcpPreamble float64
+
+	radios []*diskRadio
+}
+
+// DiskConfig configures a DiskMedium.
+type DiskConfig struct {
+	// N is the number of nodes.
+	N int
+	// Side is the deployment area side length in meters.
+	Side float64
+	// Pos reports node positions.
+	Pos PositionFunc
+	// MaxSpeed is the mobility speed bound.
+	MaxSpeed float64
+	// Range is the transmission range r (paper default 200 m). Zero
+	// means 200.
+	Range float64
+	// Delta is the interference guard parameter Δ > 0 (default 0.5, so
+	// the interference range is 1.5·r ≈ the SINR model's 299 m
+	// carrier-sense range).
+	Delta float64
+	// CarrierSenseRange defaults to (1+Δ)·r.
+	CarrierSenseRange float64
+	// PlcpPreambleSecs as in SINRConfig (default 192 µs).
+	PlcpPreambleSecs float64
+}
+
+// NewDiskMedium builds the medium. All nodes start enabled.
+func NewDiskMedium(engine *sim.Engine, cfg DiskConfig) *DiskMedium {
+	if cfg.Range == 0 {
+		cfg.Range = 200
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.5
+	}
+	if cfg.CarrierSenseRange == 0 {
+		cfg.CarrierSenseRange = (1 + cfg.Delta) * cfg.Range
+	}
+	if cfg.PlcpPreambleSecs == 0 {
+		cfg.PlcpPreambleSecs = 192e-6
+	}
+	m := &DiskMedium{
+		engine:       engine,
+		r:            cfg.Range,
+		intfRange:    (1 + cfg.Delta) * cfg.Range,
+		csRange:      cfg.CarrierSenseRange,
+		plcpPreamble: cfg.PlcpPreambleSecs,
+	}
+	maxR := m.intfRange
+	if m.csRange > maxR {
+		maxR = m.csRange
+	}
+	m.world = newWorld(engine, cfg.N, cfg.Side, maxR, cfg.Pos, cfg.MaxSpeed)
+	m.radios = make([]*diskRadio, cfg.N)
+	for i := range m.radios {
+		m.radios[i] = &diskRadio{medium: m, id: i}
+	}
+	return m
+}
+
+var _ Medium = (*DiskMedium)(nil)
+
+// Channel implements Medium.
+func (m *DiskMedium) Channel(id int) Channel { return m.radios[id] }
+
+// SetEnabled implements Medium.
+func (m *DiskMedium) SetEnabled(id int, on bool) {
+	m.world.setEnabled(id, on)
+	if !on {
+		m.radios[id].reset()
+	}
+}
+
+// Enabled implements Medium.
+func (m *DiskMedium) Enabled(id int) bool { return m.world.enabled[id] }
+
+// Range returns the transmission range r.
+func (m *DiskMedium) Range() float64 { return m.r }
+
+// diskArrival is a signal impinging on a disk radio.
+type diskArrival struct {
+	frame *Frame
+	// inRange: within the reception range r (decodable).
+	inRange bool
+	// interferes: within (1+Δ)·r (kills concurrent receptions).
+	interferes bool
+	// senses: within the carrier-sense range.
+	senses bool
+	end    float64
+}
+
+type diskRadio struct {
+	medium  *DiskMedium
+	id      int
+	handler Handler
+
+	txUntil   float64
+	active    []*diskArrival
+	locked    *diskArrival
+	corrupted bool
+	busy      bool
+}
+
+var _ Channel = (*diskRadio)(nil)
+
+func (r *diskRadio) SetHandler(h Handler) { r.handler = h }
+
+func (r *diskRadio) TxDuration(f *Frame) float64 { return f.AirTime(r.medium.plcpPreamble) }
+
+// Busy implements Channel.
+func (r *diskRadio) Busy() bool {
+	if r.medium.engine.Now() < r.txUntil {
+		return true
+	}
+	for _, a := range r.active {
+		if a.senses {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *diskRadio) interferenceCount(except *diskArrival) int {
+	n := 0
+	for _, a := range r.active {
+		if a != except && a.interferes {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *diskRadio) reset() {
+	r.active = r.active[:0]
+	r.locked = nil
+	r.corrupted = false
+	r.txUntil = 0
+	r.updateCarrier()
+}
+
+// Transmit implements Channel.
+func (r *diskRadio) Transmit(f *Frame) {
+	m := r.medium
+	if !m.Enabled(r.id) {
+		return
+	}
+	now := m.engine.Now()
+	dur := r.TxDuration(f)
+	if r.locked != nil {
+		r.corrupted = true
+	}
+	r.txUntil = now + dur
+	m.engine.At(r.txUntil, r.txDone)
+	r.updateCarrier()
+
+	srcPos := m.world.pos(r.id)
+	end := now + dur
+	maxR := m.intfRange
+	if m.csRange > maxR {
+		maxR = m.csRange
+	}
+	for _, dst := range m.world.candidates(r.id, maxR) {
+		if dst == r.id {
+			continue
+		}
+		d := geom.Dist(srcPos, m.world.pos(dst))
+		a := &diskArrival{
+			frame:      f,
+			inRange:    d <= m.r,
+			interferes: d <= m.intfRange,
+			senses:     d <= m.csRange,
+			end:        end,
+		}
+		if !a.inRange && !a.interferes && !a.senses {
+			continue
+		}
+		rx := m.radios[dst]
+		rx.signalBegin(a)
+		m.engine.At(end, func() { rx.signalEnd(a) })
+	}
+}
+
+func (r *diskRadio) txDone() { r.updateCarrier() }
+
+func (r *diskRadio) signalBegin(a *diskArrival) {
+	m := r.medium
+	if !m.Enabled(r.id) {
+		return
+	}
+	r.active = append(r.active, a)
+	transmitting := m.engine.Now() < r.txUntil
+	switch {
+	case transmitting:
+		// noise only
+	case r.locked == nil:
+		if a.inRange && r.interferenceCount(a) == 0 {
+			r.locked = a
+			r.corrupted = false
+		}
+	default:
+		if a.interferes {
+			r.corrupted = true
+		}
+	}
+	r.updateCarrier()
+}
+
+func (r *diskRadio) signalEnd(a *diskArrival) {
+	m := r.medium
+	for i, x := range r.active {
+		if x == a {
+			r.active[i] = r.active[len(r.active)-1]
+			r.active = r.active[:len(r.active)-1]
+			break
+		}
+	}
+	if r.locked == a {
+		delivered := !r.corrupted && m.engine.Now() >= r.txUntil
+		r.locked = nil
+		r.corrupted = false
+		if delivered && r.handler != nil && m.Enabled(r.id) {
+			r.handler.FrameReceived(a.frame)
+		}
+	}
+	r.updateCarrier()
+}
+
+func (r *diskRadio) updateCarrier() {
+	busy := r.Busy()
+	if busy != r.busy {
+		r.busy = busy
+		if r.handler != nil {
+			r.handler.ChannelStateChanged(busy)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package phy
+
+// Broadcast is the frame destination that addresses all nodes in range.
+const Broadcast = -1
+
+// FrameKind distinguishes MAC frame types for timing and accounting.
+type FrameKind int
+
+// Frame kinds.
+const (
+	FrameData FrameKind = iota + 1
+	FrameAck
+)
+
+// Frame is a link-layer frame on the air. The physical layer treats the
+// payload as opaque; only sizes and addresses matter for propagation.
+type Frame struct {
+	// Src is the transmitting node id.
+	Src int
+	// Dst is the destination node id, or Broadcast.
+	Dst int
+	// Kind is the MAC frame type.
+	Kind FrameKind
+	// Seq is the MAC-level sequence number (for duplicate detection of
+	// retransmissions).
+	Seq uint32
+	// Bytes is the on-air frame size in bytes including all MAC/PHY
+	// headers (PLCP preamble time is added separately).
+	Bytes int
+	// Rate is the modulation rate in bits/s.
+	Rate float64
+	// Payload is the network-layer packet carried by the frame.
+	Payload any
+}
+
+// AirTime returns the time the frame occupies the channel, given the PLCP
+// preamble duration in seconds.
+func (f *Frame) AirTime(plcpPreamble float64) float64 {
+	return plcpPreamble + float64(f.Bytes*8)/f.Rate
+}
+
+// Handler receives indications from a node's channel attachment.
+type Handler interface {
+	// ChannelStateChanged signals carrier-sense transitions: busy=true
+	// when the sensed power rises to or above the carrier-sense
+	// threshold, busy=false when it falls below.
+	ChannelStateChanged(busy bool)
+	// FrameReceived delivers a successfully decoded frame (addressed to
+	// this node, broadcast, or overheard — filtering is the MAC's job).
+	FrameReceived(f *Frame)
+}
+
+// Channel is a node's attachment to a shared medium.
+type Channel interface {
+	// Transmit starts sending f now. The caller must respect its own
+	// carrier sensing; the medium does not queue.
+	Transmit(f *Frame)
+	// Busy reports whether carrier is currently sensed busy.
+	Busy() bool
+	// SetHandler registers the MAC above this channel.
+	SetHandler(h Handler)
+	// TxDuration returns the air time of f on this medium.
+	TxDuration(f *Frame) float64
+}
+
+// Medium is a shared wireless channel connecting n nodes.
+type Medium interface {
+	// Channel returns node id's attachment.
+	Channel(id int) Channel
+	// SetEnabled includes or excludes a node from the medium (churn).
+	// Disabled nodes neither transmit nor receive nor interfere.
+	SetEnabled(id int, on bool)
+	// Enabled reports whether the node participates in the medium.
+	Enabled(id int) bool
+}

@@ -1,0 +1,248 @@
+package phy
+
+import (
+	"probquorum/internal/geom"
+	"probquorum/internal/sim"
+)
+
+// SINRMedium implements the paper's physical reception model (Section 2.3):
+// a transmission is decoded iff its received power clears the receive
+// threshold and its signal-to-interference-plus-noise ratio stays at or
+// above the capture threshold β for the whole frame, where interference is
+// the cumulative power of all other concurrent arrivals. This mirrors
+// SWANS's RadioNoiseAdditive (and ns-2.33's interference model), which the
+// paper's simulations use.
+type SINRMedium struct {
+	engine *sim.Engine
+	params Params
+	world  *world
+
+	plcpPreamble float64
+	rxThreshMw   float64
+	csThreshMw   float64
+	noiseMw      float64
+	cutoffMw     float64
+	intfRange    float64
+
+	radios []*sinrRadio
+
+	// Corrupted counts receptions aborted by interference or collision —
+	// an observability hook for MAC-level loss studies.
+	Corrupted uint64
+}
+
+// SINRConfig configures a SINRMedium.
+type SINRConfig struct {
+	// N is the number of nodes.
+	N int
+	// Side is the deployment area side length in meters (for the spatial
+	// index).
+	Side float64
+	// Pos reports node positions.
+	Pos PositionFunc
+	// MaxSpeed is the mobility model's speed bound (index staleness pad).
+	MaxSpeed float64
+	// Params are the radio parameters; zero value means DefaultParams.
+	Params Params
+	// PlcpPreambleSecs is the PHY preamble+PLCP header duration added to
+	// every frame (802.11 DSSS long preamble: 192 µs). Zero means 192 µs.
+	PlcpPreambleSecs float64
+}
+
+// NewSINRMedium builds the medium. All nodes start enabled.
+func NewSINRMedium(engine *sim.Engine, cfg SINRConfig) *SINRMedium {
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams()
+	}
+	if cfg.PlcpPreambleSecs == 0 {
+		cfg.PlcpPreambleSecs = 192e-6
+	}
+	m := &SINRMedium{
+		engine:       engine,
+		params:       cfg.Params,
+		plcpPreamble: cfg.PlcpPreambleSecs,
+		rxThreshMw:   DBmToMilliwatt(cfg.Params.RxThreshDBm),
+		csThreshMw:   DBmToMilliwatt(cfg.Params.CsThreshDBm),
+		noiseMw:      DBmToMilliwatt(cfg.Params.NoiseDBm),
+		cutoffMw:     DBmToMilliwatt(cfg.Params.InterferenceCutoffDBm),
+		intfRange:    cfg.Params.InterferenceRange(),
+	}
+	cell := cfg.Params.CarrierSenseRange()
+	m.world = newWorld(engine, cfg.N, cfg.Side, cell, cfg.Pos, cfg.MaxSpeed)
+	m.radios = make([]*sinrRadio, cfg.N)
+	for i := range m.radios {
+		m.radios[i] = &sinrRadio{medium: m, id: i}
+	}
+	return m
+}
+
+var _ Medium = (*SINRMedium)(nil)
+
+// Channel implements Medium.
+func (m *SINRMedium) Channel(id int) Channel { return m.radios[id] }
+
+// SetEnabled implements Medium.
+func (m *SINRMedium) SetEnabled(id int, on bool) {
+	m.world.setEnabled(id, on)
+	if !on {
+		m.radios[id].reset()
+	}
+}
+
+// Enabled implements Medium.
+func (m *SINRMedium) Enabled(id int) bool { return m.world.enabled[id] }
+
+// Params returns the radio parameters in use.
+func (m *SINRMedium) Params() Params { return m.params }
+
+// arrival is one signal currently impinging on a radio.
+type arrival struct {
+	frame   *Frame
+	powerMw float64
+	end     float64
+}
+
+// sinrRadio is the per-node receiver state.
+type sinrRadio struct {
+	medium  *SINRMedium
+	id      int
+	handler Handler
+
+	txUntil   float64 // transmitting until this time (half-duplex)
+	active    []*arrival
+	locked    *arrival
+	corrupted bool
+	busy      bool // last reported carrier state
+}
+
+var _ Channel = (*sinrRadio)(nil)
+
+func (r *sinrRadio) SetHandler(h Handler) { r.handler = h }
+
+func (r *sinrRadio) TxDuration(f *Frame) float64 { return f.AirTime(r.medium.plcpPreamble) }
+
+// Busy implements Channel: carrier is busy while transmitting or while the
+// cumulative sensed power is at or above the carrier-sense threshold.
+func (r *sinrRadio) Busy() bool {
+	m := r.medium
+	if m.engine.Now() < r.txUntil {
+		return true
+	}
+	return r.totalPower() >= m.csThreshMw
+}
+
+func (r *sinrRadio) totalPower() float64 {
+	sum := 0.0
+	for _, a := range r.active {
+		sum += a.powerMw
+	}
+	return sum
+}
+
+func (r *sinrRadio) reset() {
+	r.active = r.active[:0]
+	r.locked = nil
+	r.corrupted = false
+	r.txUntil = 0
+	r.updateCarrier()
+}
+
+// Transmit implements Channel.
+func (r *sinrRadio) Transmit(f *Frame) {
+	m := r.medium
+	if !m.Enabled(r.id) {
+		return
+	}
+	now := m.engine.Now()
+	dur := r.TxDuration(f)
+	// Half-duplex: starting a transmission aborts any in-progress
+	// reception at this node.
+	if r.locked != nil {
+		r.corrupted = true
+	}
+	r.txUntil = now + dur
+	m.engine.At(r.txUntil, r.txDone)
+	r.updateCarrier()
+
+	srcPos := m.world.pos(r.id)
+	end := now + dur
+	for _, dst := range m.world.candidates(r.id, m.intfRange) {
+		if dst == r.id {
+			continue
+		}
+		rx := m.radios[dst]
+		d := geom.Dist(srcPos, m.world.pos(dst))
+		p := m.params.ReceivedPowerMw(d)
+		if p < m.cutoffMw {
+			continue
+		}
+		a := &arrival{frame: f, powerMw: p, end: end}
+		rx.signalBegin(a)
+		m.engine.At(end, func() { rx.signalEnd(a) })
+	}
+}
+
+func (r *sinrRadio) txDone() { r.updateCarrier() }
+
+func (r *sinrRadio) signalBegin(a *arrival) {
+	m := r.medium
+	if !m.Enabled(r.id) {
+		return
+	}
+	r.active = append(r.active, a)
+	transmitting := m.engine.Now() < r.txUntil
+	switch {
+	case transmitting:
+		// A transmitting radio cannot receive; the signal is noise only.
+	case r.locked == nil:
+		// Try to lock onto the new signal: strong enough and clean
+		// enough at its start.
+		interference := r.totalPower() - a.powerMw
+		if a.powerMw >= m.rxThreshMw &&
+			a.powerMw/(m.noiseMw+interference) >= m.params.SINRCapture {
+			r.locked = a
+			r.corrupted = false
+		}
+	default:
+		// Already decoding: the newcomer is interference. If it pushes
+		// the locked signal's SINR below β, the frame is lost.
+		interference := r.totalPower() - r.locked.powerMw
+		if r.locked.powerMw/(m.noiseMw+interference) < m.params.SINRCapture {
+			r.corrupted = true
+		}
+	}
+	r.updateCarrier()
+}
+
+func (r *sinrRadio) signalEnd(a *arrival) {
+	m := r.medium
+	for i, x := range r.active {
+		if x == a {
+			r.active[i] = r.active[len(r.active)-1]
+			r.active = r.active[:len(r.active)-1]
+			break
+		}
+	}
+	if r.locked == a {
+		delivered := !r.corrupted && m.engine.Now() >= r.txUntil
+		if !delivered {
+			m.Corrupted++
+		}
+		r.locked = nil
+		r.corrupted = false
+		if delivered && r.handler != nil && m.Enabled(r.id) {
+			r.handler.FrameReceived(a.frame)
+		}
+	}
+	r.updateCarrier()
+}
+
+func (r *sinrRadio) updateCarrier() {
+	busy := r.Busy()
+	if busy != r.busy {
+		r.busy = busy
+		if r.handler != nil {
+			r.handler.ChannelStateChanged(busy)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package phy
+
+import (
+	"probquorum/internal/geom"
+	"probquorum/internal/sim"
+)
+
+// PositionFunc reports the current position of a node. Implementations are
+// typically closures over a mobility model and the engine clock.
+type PositionFunc func(id int) geom.Point
+
+// world maintains a lazily refreshed spatial index over node positions so
+// media can find candidate receivers without scanning every node. Exact
+// positions for power computation always come from the position function;
+// the index is only used to prune candidates, padded against staleness.
+type world struct {
+	engine      *sim.Engine
+	pos         PositionFunc
+	grid        *geom.Grid
+	n           int
+	maxSpeed    float64
+	refreshSecs float64
+	lastRefresh float64
+	fresh       bool
+	enabled     []bool
+	scratch     []int
+}
+
+func newWorld(engine *sim.Engine, n int, side float64, cell float64, pos PositionFunc, maxSpeed float64) *world {
+	w := &world{
+		engine:      engine,
+		pos:         pos,
+		grid:        geom.NewGrid(n, side, cell),
+		n:           n,
+		maxSpeed:    maxSpeed,
+		refreshSecs: 1.0,
+		enabled:     make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		w.enabled[i] = true
+		w.grid.Update(i, pos(i))
+	}
+	w.fresh = true
+	return w
+}
+
+func (w *world) setEnabled(id int, on bool) {
+	if w.enabled[id] == on {
+		return
+	}
+	w.enabled[id] = on
+	if on {
+		w.grid.Update(id, w.pos(id))
+	} else {
+		w.grid.Remove(id)
+	}
+}
+
+func (w *world) refreshIfStale() {
+	now := w.engine.Now()
+	if w.fresh && (w.maxSpeed == 0 || now-w.lastRefresh < w.refreshSecs) {
+		return
+	}
+	for id := 0; id < w.n; id++ {
+		if w.enabled[id] {
+			w.grid.Update(id, w.pos(id))
+		}
+	}
+	w.lastRefresh = now
+	w.fresh = true
+}
+
+// candidates returns the ids of enabled nodes possibly within radius of
+// node src's current position, padding the radius against index staleness.
+// The returned slice is reused across calls.
+func (w *world) candidates(src int, radius float64) []int {
+	w.refreshIfStale()
+	pad := 2 * w.maxSpeed * w.refreshSecs
+	w.scratch = w.grid.Within(w.pos(src), radius+pad, w.scratch[:0])
+	return w.scratch
+}

@@ -1,0 +1,191 @@
+package quorum
+
+import "probquorum/internal/netstack"
+
+// directMsg carries a RANDOM / RANDOM-OPT quorum access delivered to a
+// specific member via multihop routing.
+type directMsg struct {
+	Op         opID
+	Advertise  bool
+	Key, Value string
+}
+
+// advertiseRandom contacts |Qa| uniformly sampled members through routing.
+// On a routing failure the origin adapts by redirecting the contact to a
+// fresh random node (Section 6.2), once per member.
+func (s *System) advertiseRandom(origin int, op opID, key, value string) {
+	ad := s.ads[op]
+	members := s.members.Pick(s.engine.Rand(), origin, s.cfg.AdvertiseSize)
+	ad.res.Requested = s.cfg.AdvertiseSize
+	if len(members) == 0 {
+		ad.pending = 1
+		s.advertiseSettled(op)
+		return
+	}
+	ad.pending = len(members)
+	used := make(map[int]bool, len(members))
+	for _, m := range members {
+		used[m] = true
+	}
+	for _, m := range members {
+		s.sendAdvertiseTo(origin, op, key, value, m, used, true)
+	}
+}
+
+func (s *System) sendAdvertiseTo(origin int, op opID, key, value string, member int, used map[int]bool, mayAdapt bool) {
+	msg := &directMsg{Op: op, Advertise: true, Key: key, Value: value}
+	pkt := s.newPacket(origin, member, msg)
+	s.routing.Send(origin, member, pkt, func(ok bool) {
+		if ok {
+			s.advertiseSettled(op)
+			return
+		}
+		if mayAdapt {
+			if alt, found := s.pickFreshMember(origin, used); found {
+				s.counters.Adaptations++
+				used[alt] = true
+				s.sendAdvertiseTo(origin, op, key, value, alt, used, false)
+				return
+			}
+		}
+		if ad := s.ads[op]; ad != nil {
+			ad.res.FailedSends++
+		}
+		s.advertiseSettled(op)
+	})
+}
+
+// pickFreshMember draws a membership-view node not yet used by this op.
+func (s *System) pickFreshMember(origin int, used map[int]bool) (int, bool) {
+	view := s.members.View(origin)
+	rng := s.engine.Rand()
+	for attempts := 0; attempts < 2*len(view) && len(view) > 0; attempts++ {
+		c := view[rng.Intn(len(view))]
+		if !used[c] && c != origin {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// lookupRandom contacts |Qℓ| sampled members; each member holding the key
+// replies through routing. Parallel by default; serial with early halting
+// when SerialRandomLookup is set.
+func (s *System) lookupRandom(origin int, op opID, key string) {
+	members := s.members.Pick(s.engine.Rand(), origin, s.cfg.LookupSize)
+	if len(members) == 0 {
+		return // origin-only quorum: timeout will declare the miss
+	}
+	if s.cfg.SerialRandomLookup {
+		lk := s.lookups[op]
+		lk.serialTargets = members
+		lk.serialNext = 0
+		s.serialLookupStep(origin, op, key)
+		return
+	}
+	for _, m := range members {
+		msg := &directMsg{Op: op, Advertise: false, Key: key}
+		pkt := s.newPacket(origin, m, msg)
+		s.routing.Send(origin, m, pkt, nil)
+	}
+}
+
+// serialStepTimeout is how long a serial Random lookup waits per member
+// before moving on.
+const serialStepTimeout = 2.0
+
+// serialLookupStep contacts the next member of a serial Random lookup.
+func (s *System) serialLookupStep(origin int, op opID, key string) {
+	lk := s.lookups[op]
+	if lk == nil || lk.finished {
+		return
+	}
+	if lk.serialNext >= len(lk.serialTargets) {
+		return // all contacted; op times out into a miss
+	}
+	m := lk.serialTargets[lk.serialNext]
+	lk.serialNext++
+	msg := &directMsg{Op: op, Advertise: false, Key: key}
+	pkt := s.newPacket(origin, m, msg)
+	s.routing.Send(origin, m, pkt, func(ok bool) {
+		if !ok {
+			s.serialLookupStep(origin, op, key)
+		}
+	})
+	s.engine.Schedule(serialStepTimeout, func() {
+		if cur := s.lookups[op]; cur != nil && !cur.finished && cur.serialNext == lk.serialNext {
+			s.serialLookupStep(origin, op, key)
+		}
+	})
+}
+
+// lookupRandomOpt sends ~ln n routed lookups; every transit node performs a
+// local lookup via the cross-layer tap, so the effective quorum is the union
+// of the routes (Section 4.5).
+func (s *System) lookupRandomOpt(origin int, op opID, key string) {
+	members := s.members.Pick(s.engine.Rand(), origin, s.cfg.RandomOptTargets)
+	for _, m := range members {
+		msg := &directMsg{Op: op, Advertise: false, Key: key}
+		pkt := s.newPacket(origin, m, msg)
+		s.routing.Send(origin, m, pkt, nil)
+	}
+}
+
+// handleDirect processes a routed quorum message at its final destination.
+func (s *System) handleDirect(n *netstack.Node, m *directMsg) {
+	if m.Advertise {
+		s.storeAt(n.ID(), m.Key, m.Value, true, m.Op)
+		return
+	}
+	value, ok := s.stores[n.ID()].Get(m.Key)
+	if !ok {
+		return // member does not hold the key: no reply (Section 8)
+	}
+	s.markIntersected(m.Op)
+	if !s.stores[n.ID()].Owner(m.Key) {
+		s.counters.CacheHits++
+	}
+	s.sendRoutedReply(n.ID(), m.Op, m.Key, value)
+}
+
+// sendRoutedReply returns a hit to the originator via routing.
+func (s *System) sendRoutedReply(from int, op opID, key, value string) {
+	r := &replyMsg{Op: op, Key: key, Value: value}
+	pkt := s.newPacket(from, op.Origin, r)
+	s.routing.Send(from, op.Origin, pkt, nil)
+}
+
+// transitTap is the RANDOM-OPT cross-layer hook: it observes every routed
+// quorum packet at every transit node. Advertise messages are stored and
+// passed on; lookup messages are answered and consumed on a hit.
+func (s *System) transitTap(at *netstack.Node, inner *netstack.Packet) bool {
+	if inner.Proto != netstack.ProtoQuorum {
+		return false
+	}
+	switch m := inner.Payload.(type) {
+	case *directMsg:
+		if m.Advertise {
+			if s.cfg.AdvertiseStrategy == RandomOpt {
+				s.storeAt(at.ID(), m.Key, m.Value, true, m.Op)
+			}
+			return false
+		}
+		if s.cfg.LookupStrategy != RandomOpt {
+			return false
+		}
+		value, ok := s.stores[at.ID()].Get(m.Key)
+		if !ok {
+			return false
+		}
+		s.markIntersected(m.Op)
+		s.sendRoutedReply(at.ID(), m.Op, m.Key, value)
+		return true // early halt: stop forwarding the lookup (Section 4.5)
+	case *replyMsg:
+		if s.cfg.Caching {
+			s.cacheAt(at.ID(), m.Key, m.Value)
+		}
+		return false
+	default:
+		return false
+	}
+}

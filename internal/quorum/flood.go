@@ -1,0 +1,115 @@
+package quorum
+
+import "probquorum/internal/netstack"
+
+// floodMsg carries a FLOODING quorum access. The packet's TTL scopes the
+// flood; each node records the previous hop so replies can travel the
+// reverse path (Section 4.4).
+type floodMsg struct {
+	Op         opID
+	Advertise  bool
+	Key, Value string
+	// StoreProb, when positive, makes each reached node join the
+	// advertise quorum only with this probability (the paper's
+	// alternative FLOODING advertise: flood the whole network, each node
+	// participates with probability |Q|/n).
+	StoreProb float64
+}
+
+// floodJitterSecs is the random rebroadcast delay preventing synchronized
+// collisions (paper: 10 ms, after RFC 5148).
+const floodJitterSecs = 0.010
+
+// advertiseFlood publishes by TTL-scoped flooding: every node the flood
+// reaches joins the advertise quorum. With ProbabilisticFloodAdvertise the
+// flood instead spans the whole network and each node joins with
+// probability |Qa|/n (Section 4.4).
+func (s *System) advertiseFlood(origin int, op opID, key, value string) {
+	ad := s.ads[op]
+	ad.res.Requested = s.cfg.AdvertiseSize
+	ad.pending = 1
+	ttl := s.cfg.AdvertiseTTL
+	prob := 0.0
+	if s.cfg.ProbabilisticFloodAdvertise {
+		ttl = 64 // network-wide
+		prob = float64(s.cfg.AdvertiseSize) / float64(s.net.NumAlive())
+		if prob > 1 {
+			prob = 1
+		}
+	}
+	s.startFloodProb(origin, op, true, key, value, ttl, prob)
+	// A flood has no deterministic end; settle after the TTL's worth of
+	// hop latency plus jitter, generously bounded.
+	s.engine.Schedule(1.0+0.2*float64(ttl), func() { s.advertiseSettled(op) })
+}
+
+// lookupFlood searches by TTL-scoped flooding; holders reply along the
+// recorded reverse path.
+func (s *System) lookupFlood(origin int, op opID, key string) {
+	s.startFlood(origin, op, false, key, "", s.cfg.LookupTTL)
+}
+
+func (s *System) startFlood(origin int, op opID, advertise bool, key, value string, ttl int) {
+	s.startFloodProb(origin, op, advertise, key, value, ttl, 0)
+}
+
+func (s *System) startFloodProb(origin int, op opID, advertise bool, key, value string, ttl int, storeProb float64) {
+	prev := make(map[int]int)
+	prev[origin] = origin // origin is covered and terminates replies
+	s.floodPrev[op] = prev
+	s.floodCoverage[op] = 1
+	if advertise {
+		s.storeAt(origin, key, value, true, op)
+	}
+	if ttl < 1 {
+		return
+	}
+	m := &floodMsg{Op: op, Advertise: advertise, Key: key, Value: value, StoreProb: storeProb}
+	pkt := s.newPacket(origin, netstack.Broadcast, m)
+	pkt.TTL = ttl
+	node := s.net.Node(origin)
+	s.engine.Schedule(s.engine.Rand().Float64()*floodJitterSecs, func() {
+		node.BroadcastOneHop(pkt, nil)
+	})
+}
+
+// handleFlood processes a flood packet at node n, arriving from `from`.
+func (s *System) handleFlood(n *netstack.Node, pkt *netstack.Packet, m *floodMsg, from int) {
+	prev := s.floodPrev[m.Op]
+	if prev == nil {
+		prev = make(map[int]int)
+		s.floodPrev[m.Op] = prev
+	}
+	if _, seen := prev[n.ID()]; seen {
+		return // duplicate copy
+	}
+	prev[n.ID()] = from
+	s.floodCoverage[m.Op]++
+
+	if m.Advertise {
+		if m.StoreProb <= 0 || s.engine.Rand().Float64() < m.StoreProb {
+			s.storeAt(n.ID(), m.Key, m.Value, true, m.Op)
+		}
+	} else if value, ok := s.stores[n.ID()].Get(m.Key); ok {
+		// Even nodes at the flood's TTL boundary reply (Section 8.4).
+		s.markIntersected(m.Op)
+		if !s.stores[n.ID()].Owner(m.Key) {
+			s.counters.CacheHits++
+		}
+		if lk := s.lookups[s.resolve(m.Op)]; lk != nil && !lk.finished {
+			r := &replyMsg{Op: m.Op, Key: m.Key, Value: value, Flood: true}
+			s.forwardFloodReply(n, r)
+		}
+	}
+
+	if pkt.TTL <= 1 {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.TTL--
+	fwd.Hops++
+	fwd.Src = n.ID()
+	s.engine.Schedule(s.engine.Rand().Float64()*floodJitterSecs, func() {
+		n.BroadcastOneHop(fwd, nil)
+	})
+}

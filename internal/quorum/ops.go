@@ -1,0 +1,296 @@
+package quorum
+
+import (
+	"fmt"
+	"probquorum/internal/netstack"
+
+	"probquorum/internal/sim"
+)
+
+// OpRef is an opaque handle to an issued operation, usable to query
+// per-operation diagnostics such as flood coverage.
+type OpRef struct{ id opID }
+
+// Advertise publishes key→value from node origin to an advertise quorum
+// using the configured strategy. done (may be nil) fires when the quorum
+// access concludes.
+func (s *System) Advertise(origin int, key, value string, done func(AdvertiseResult)) OpRef {
+	op := s.nextOp(origin)
+	ad := &pendingAdvertise{id: op, done: done, storedAt: make(map[int]bool)}
+	s.ads[op] = ad
+	switch s.cfg.AdvertiseStrategy {
+	case Random, RandomOpt:
+		s.advertiseRandom(origin, op, key, value)
+	case Path, UniquePath:
+		ad.res.Requested = s.cfg.AdvertiseSize
+		ad.pending = 1
+		s.startWalk(origin, op, true, key, value,
+			s.cfg.AdvertiseSize, s.cfg.AdvertiseStrategy == UniquePath)
+	case Flooding:
+		s.advertiseFlood(origin, op, key, value)
+	case ExpandingRing:
+		s.advertiseExpandingRing(origin, op, key, value)
+	case RandomSampling:
+		ad.res.Requested = s.cfg.AdvertiseSize
+		ad.pending = s.cfg.AdvertiseSize
+		s.accessBySampling(origin, op, true, key, value, s.cfg.AdvertiseSize)
+	default:
+		panic(fmt.Sprintf("quorum: unknown advertise strategy %v", s.cfg.AdvertiseStrategy))
+	}
+	return OpRef{id: op}
+}
+
+// Lookup searches for key from node origin using the configured strategy.
+// done fires exactly once: with the value on a hit, or a miss result after
+// the configured timeout.
+func (s *System) Lookup(origin int, key string, done func(LookupResult)) OpRef {
+	op := s.nextOp(origin)
+	lk := &pendingLookup{id: op, key: key, done: done, issued: s.engine.Now()}
+	s.lookups[op] = lk
+	lk.timer = sim.NewTimer(s.engine, func() { s.lookupTimeout(op) })
+	lk.timer.Reset(s.cfg.LookupTimeout)
+
+	// The originator includes itself in the lookup quorum (Section 8.3).
+	if value, ok := s.stores[origin].Get(key); ok {
+		lk.intersected = true
+		if !s.stores[origin].Owner(key) {
+			s.counters.CacheHits++
+		}
+		s.completeLookup(op, value)
+		return OpRef{id: op}
+	}
+
+	switch s.cfg.LookupStrategy {
+	case Random:
+		s.lookupRandom(origin, op, key)
+	case RandomOpt:
+		s.lookupRandomOpt(origin, op, key)
+	case Path, UniquePath:
+		s.startWalk(origin, op, false, key, "",
+			s.cfg.LookupSize, s.cfg.LookupStrategy == UniquePath)
+	case Flooding:
+		s.lookupFlood(origin, op, key)
+	case ExpandingRing:
+		s.lookupExpandingRing(origin, op, key)
+	case RandomSampling:
+		s.accessBySampling(origin, op, false, key, "", s.cfg.LookupSize)
+	default:
+		panic(fmt.Sprintf("quorum: unknown lookup strategy %v", s.cfg.LookupStrategy))
+	}
+	return OpRef{id: op}
+}
+
+// CollectResult is the outcome of a LookupCollect.
+type CollectResult struct {
+	// Values holds every reply received within the window, in arrival
+	// order (duplicates possible: several quorum members may reply).
+	Values []string
+	// Intersected reports whether any holder was reached.
+	Intersected bool
+}
+
+// LookupCollect searches for key like Lookup but accumulates *all* replies
+// arriving within `window` seconds instead of finishing on the first one,
+// and disables early halting for this operation so the full lookup quorum
+// is covered. This is the access mode versioned data types need: a reader
+// (or a writer's read phase) must see the highest version among the
+// replicas its quorum intersects (Section 6.1, Section 10).
+func (s *System) LookupCollect(origin int, key string, window float64, done func(CollectResult)) OpRef {
+	op := s.nextOp(origin)
+	lk := &pendingLookup{
+		id: op, key: key, issued: s.engine.Now(),
+		collect: true, collectDone: done,
+	}
+	s.lookups[op] = lk
+	lk.timer = sim.NewTimer(s.engine, func() { s.finishCollect(op) })
+	lk.timer.Reset(window)
+
+	// The originator's own store contributes a value.
+	if value, ok := s.stores[origin].Get(key); ok {
+		lk.intersected = true
+		lk.collected = append(lk.collected, value)
+	}
+
+	switch s.cfg.LookupStrategy {
+	case Random:
+		s.lookupRandom(origin, op, key)
+	case RandomOpt:
+		s.lookupRandomOpt(origin, op, key)
+	case Path, UniquePath:
+		s.startWalkNoHalt(origin, op, key, s.cfg.LookupSize, s.cfg.LookupStrategy == UniquePath)
+	case Flooding:
+		s.lookupFlood(origin, op, key)
+	case ExpandingRing:
+		s.lookupExpandingRing(origin, op, key)
+	case RandomSampling:
+		s.accessBySampling(origin, op, false, key, "", s.cfg.LookupSize)
+	default:
+		panic(fmt.Sprintf("quorum: unknown lookup strategy %v", s.cfg.LookupStrategy))
+	}
+	return OpRef{id: op}
+}
+
+// finishCollect closes a collect-mode lookup at the end of its window.
+func (s *System) finishCollect(op opID) {
+	lk := s.lookups[op]
+	if lk == nil || lk.finished {
+		return
+	}
+	lk.finished = true
+	delete(s.lookups, op)
+	s.releaseOpState(op, lk.children)
+	if lk.collectDone != nil {
+		lk.collectDone(CollectResult{Values: lk.collected, Intersected: lk.intersected})
+	}
+}
+
+// overhearTap implements the Section 7.2 promiscuous-mode optimization: a
+// node that overhears a walk lookup for a key it holds answers immediately,
+// effectively widening the walk's coverage to entire neighborhoods.
+func (s *System) overhearTap(n *netstack.Node, pkt *netstack.Packet, _ int) {
+	m, ok := pkt.Payload.(*walkMsg)
+	if !ok || m.Advertise {
+		return
+	}
+	value, found := s.stores[n.ID()].Get(m.Key)
+	if !found {
+		return
+	}
+	lk := s.lookups[s.resolve(m.Op)]
+	if lk == nil || lk.finished {
+		return
+	}
+	s.markIntersected(m.Op)
+	s.counters.OverhearReplies++
+	// Reply along the overheard walk's path, extended with ourselves; the
+	// first hop is the frame's sender, necessarily a direct neighbor.
+	path := append(append(make([]int, 0, len(m.Visited)+1), m.Visited...), n.ID())
+	r := &replyMsg{Op: m.Op, Key: m.Key, Value: value, Path: path, Idx: len(path) - 1}
+	s.forwardReply(n, r)
+}
+
+// storeAt writes a mapping at node id and maintains per-op accounting
+// (Placed counts distinct nodes written by the operation). A configured
+// Merge function arbitrates against an existing entry.
+func (s *System) storeAt(id int, key, value string, owner bool, op opID) {
+	st := s.stores[id]
+	if old, existed := st.Get(key); existed && s.cfg.Merge != nil {
+		value = s.cfg.Merge(key, old, value)
+	}
+	st.Put(key, value, owner)
+	if owner {
+		if ad := s.ads[s.resolve(op)]; ad != nil && !ad.finished && !ad.storedAt[id] {
+			ad.storedAt[id] = true
+			ad.res.Placed++
+		}
+	}
+}
+
+// cacheAt stores a bystander (cache) entry, honouring Merge.
+func (s *System) cacheAt(id int, key, value string) {
+	st := s.stores[id]
+	if old, existed := st.Get(key); existed && s.cfg.Merge != nil {
+		value = s.cfg.Merge(key, old, value)
+	}
+	st.Put(key, value, false)
+}
+
+// markIntersected records that op's lookup quorum touched a holder of the
+// key — the pure intersection event of Fig. 13(b), independent of whether
+// the reply survives.
+func (s *System) markIntersected(op opID) {
+	if lk := s.lookups[s.resolve(op)]; lk != nil && !lk.finished {
+		lk.intersected = true
+	}
+}
+
+// completeLookup finishes op with a hit carrying value. Duplicate replies
+// are ignored; in collect mode every reply is accumulated instead and the
+// window timer finishes the operation.
+func (s *System) completeLookup(op opID, value string) {
+	op = s.resolve(op)
+	lk := s.lookups[op]
+	if lk == nil || lk.finished {
+		return
+	}
+	if lk.collect {
+		lk.intersected = true
+		lk.collected = append(lk.collected, value)
+		if s.cfg.Caching {
+			s.cacheAt(op.Origin, lk.key, value)
+		}
+		return
+	}
+	lk.finished = true
+	lk.timer.Cancel()
+	delete(s.lookups, op)
+	s.releaseOpState(op, lk.children)
+	if s.cfg.Caching {
+		s.cacheAt(op.Origin, lk.key, value)
+	}
+	if lk.done != nil {
+		lk.done(LookupResult{
+			Hit:         true,
+			Value:       value,
+			Intersected: true,
+			Latency:     s.engine.Now() - lk.issued,
+		})
+	}
+}
+
+// lookupTimeout finishes op as a miss.
+func (s *System) lookupTimeout(op opID) {
+	lk := s.lookups[op]
+	if lk == nil || lk.finished {
+		return
+	}
+	lk.finished = true
+	delete(s.lookups, op)
+	s.releaseOpState(op, lk.children)
+	if lk.done != nil {
+		lk.done(LookupResult{Hit: false, Intersected: lk.intersected})
+	}
+}
+
+// advertiseSettled decrements the outstanding-contact count and finishes
+// the advertise op when it reaches zero.
+func (s *System) advertiseSettled(op opID) {
+	ad := s.ads[op]
+	if ad == nil || ad.finished {
+		return
+	}
+	ad.pending--
+	if ad.pending > 0 {
+		return
+	}
+	ad.finished = true
+	delete(s.ads, op)
+	s.releaseOpState(op, ad.children)
+	if ad.done != nil {
+		ad.done(ad.res)
+	}
+}
+
+// FloodCoverage returns how many distinct nodes a Flooding operation
+// reached so far (Fig. 5's coverage metric).
+func (s *System) FloodCoverage(ref OpRef) int { return s.floodCoverage[ref.id] }
+
+// opStateGraceSecs is how long per-operation flood state (reverse-path
+// maps, ring aliases) outlives the operation — long enough for straggler
+// packets still in flight to resolve, short enough that long simulations
+// stay memory-stable.
+const opStateGraceSecs = 60
+
+// releaseOpState schedules the garbage collection of an operation's flood
+// bookkeeping and ring aliases.
+func (s *System) releaseOpState(op opID, children []opID) {
+	s.engine.Schedule(opStateGraceSecs, func() {
+		delete(s.floodPrev, op)
+		delete(s.floodCoverage, op)
+		for _, c := range children {
+			delete(s.opAlias, c)
+			delete(s.floodPrev, c)
+			delete(s.floodCoverage, c)
+		}
+	})
+}

@@ -1,0 +1,428 @@
+// Package quorum implements the paper's contribution: probabilistic
+// (bi)quorum systems for ad hoc networks with mix-and-match access
+// strategies.
+//
+// A biquorum system pairs advertise quorums with lookup quorums; the
+// mix-and-match lemma (Lemma 5.2) shows that as long as one side is chosen
+// uniformly at random, the other may be picked arbitrarily — e.g. by a cheap
+// random walk — while preserving Pr(miss) ≤ exp(−|Qa|·|Qℓ|/n). This package
+// provides the five access strategies the paper studies (RANDOM,
+// RANDOM-OPT, PATH, UNIQUE-PATH, FLOODING), a location-service store on top,
+// and the paper's engineering techniques: random-walk salvation, reply-path
+// reduction, reply-path local repair, early halting, and caching.
+package quorum
+
+import (
+	"fmt"
+
+	"probquorum/internal/aodv"
+	"probquorum/internal/membership"
+	"probquorum/internal/netstack"
+	"probquorum/internal/sim"
+)
+
+// Strategy names a quorum access strategy (Section 4).
+type Strategy int
+
+// Access strategies.
+const (
+	// Random contacts uniformly sampled nodes through multihop routing,
+	// using the membership service (Section 4.1).
+	Random Strategy = iota + 1
+	// RandomOpt is Random plus cross-layer processing at every node a
+	// message transits (Section 4.5). Lookups need only ~ln n targets.
+	RandomOpt
+	// Path covers the quorum with a simple random walk (Section 4.2).
+	Path
+	// UniquePath covers the quorum with a self-avoiding random walk
+	// (Section 4.3).
+	UniquePath
+	// Flooding covers the quorum with a TTL-scoped flood (Section 4.4).
+	Flooding
+	// ExpandingRing is Flooding's adaptive implementation (Section 4.4):
+	// successive floods of growing TTL until the quorum is reached (for
+	// lookups: until a hit), robust to unknown densities and topologies.
+	ExpandingRing
+	// RandomSampling is the direct sampling-based RANDOM implementation
+	// (Section 4.1): each quorum member is the endpoint of a maximum-
+	// degree random walk of about the mixing time, so no routing or
+	// membership service is needed — at a Θ(|Q|·T_mix) message cost.
+	RandomSampling
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "RANDOM"
+	case RandomOpt:
+		return "RANDOM-OPT"
+	case Path:
+		return "PATH"
+	case UniquePath:
+		return "UNIQUE-PATH"
+	case Flooding:
+		return "FLOODING"
+	case ExpandingRing:
+		return "EXPANDING-RING"
+	case RandomSampling:
+		return "RANDOM-SAMPLING"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config selects the strategy mix and the engineering options.
+type Config struct {
+	// AdvertiseStrategy and LookupStrategy pick the biquorum mix. Any
+	// combination is legal; Lemma 5.2 guarantees the intersection bound
+	// whenever at least one side is Random (or RandomOpt).
+	AdvertiseStrategy, LookupStrategy Strategy
+	// AdvertiseSize and LookupSize are target quorum sizes |Qa| and |Qℓ|
+	// (distinct nodes to cover). For Flooding strategies the TTL fields
+	// below are used instead.
+	AdvertiseSize, LookupSize int
+	// AdvertiseTTL and LookupTTL scope Flooding accesses.
+	AdvertiseTTL, LookupTTL int
+	// RandomOptTargets is how many routed messages a RandomOpt lookup
+	// sends (paper: O(ln n) suffices, Section 8.2). Zero derives ln n.
+	RandomOptTargets int
+	// EarlyHalt stops a lookup walk at the first hit (Section 7.1).
+	EarlyHalt bool
+	// Salvation retries a failed walk forwarding through another
+	// neighbor within the same step (Section 6.2).
+	Salvation bool
+	// WalkTTLFactor bounds a walk's total steps to factor·target+20
+	// (default 8), terminating walks trapped in disconnected pockets.
+	WalkTTLFactor int
+	// ReplyPathReduction lets replies skip ahead along the recorded
+	// reverse path when a later node is a direct neighbor (Section 7.2).
+	ReplyPathReduction bool
+	// ReplyLocalRepair repairs broken reverse paths with TTL-scoped
+	// routing (Section 6.2). Without it, a broken reverse path drops the
+	// reply (the Fig. 13 behaviour).
+	ReplyLocalRepair bool
+	// RepairTTL is the scoped-routing TTL for local repair (paper: 3).
+	RepairTTL int
+	// Caching lets nodes that relay replies cache the mapping as
+	// bystanders (Section 7.1).
+	Caching bool
+	// SerialRandomLookup accesses a Random lookup quorum one node at a
+	// time with early halting instead of in parallel (Section 8.2's
+	// latency/cost trade-off).
+	SerialRandomLookup bool
+	// MaxRingTTL bounds the ExpandingRing escalation (default 7).
+	MaxRingTTL int
+	// ProbabilisticFloodAdvertise makes a Flooding advertise span the
+	// whole network, with each node joining the quorum with probability
+	// |Qa|/n (Section 4.4's alternative advertise implementation).
+	ProbabilisticFloodAdvertise bool
+	// Overhearing lets nodes in promiscuous mode answer walk lookups
+	// they overhear for keys they hold (Section 7.2, the paper's
+	// future-work optimization).
+	Overhearing bool
+	// SampleWalkSteps is the RandomSampling walk length (default n/2,
+	// the paper's mixing-time estimate for G²(n,r)).
+	SampleWalkSteps int
+	// MaxDegreeEstimate is the d_max the maximum-degree walks assume
+	// (default 24 ≈ 2.5× the paper's default density).
+	MaxDegreeEstimate int
+	// PayloadBytes sizes quorum messages (paper: 512).
+	PayloadBytes int
+	// LookupTimeout bounds how long a lookup waits for a reply before
+	// reporting a miss (seconds).
+	LookupTimeout float64
+	// Merge, when set, resolves conflicting writes to the same key: on a
+	// store that already holds old, the node keeps Merge(key, old, new)
+	// instead of blindly overwriting. This is the version-number
+	// mechanism of Section 6.1 ("a new value cannot be overwritten by an
+	// older one"), used by the register package for read/write objects.
+	Merge func(key, old, new string) string
+}
+
+// DefaultConfig returns the paper's default mix: RANDOM advertise of size
+// 2√n with UNIQUE-PATH lookup of size 1.15√n is the combination the paper
+// finds most efficient; the harness overrides sizes per experiment.
+func DefaultConfig(n int) Config {
+	return Config{
+		AdvertiseStrategy:  Random,
+		LookupStrategy:     UniquePath,
+		AdvertiseSize:      AdvertiseSizeDefault(n),
+		LookupSize:         LookupSizeFor(n, 0.9),
+		EarlyHalt:          true,
+		Salvation:          true,
+		ReplyPathReduction: true,
+		RepairTTL:          3,
+		PayloadBytes:       512,
+		LookupTimeout:      30,
+	}
+}
+
+// opID identifies one advertise or lookup operation.
+type opID struct {
+	Origin int
+	Seq    uint32
+}
+
+// LookupResult reports the outcome of a lookup.
+type LookupResult struct {
+	// Hit is true when a reply carrying the value reached the origin.
+	Hit bool
+	// Value is the retrieved value on a hit.
+	Value string
+	// Intersected is true when the lookup quorum touched a node holding
+	// the key, whether or not the reply survived the trip back. The gap
+	// between Intersected and Hit is exactly the reply-path loss the
+	// paper isolates in Fig. 13(b,c).
+	Intersected bool
+	// Latency is seconds from issue to reply (0 on a miss).
+	Latency float64
+}
+
+// AdvertiseResult reports the outcome of an advertise.
+type AdvertiseResult struct {
+	// Requested is the target quorum size.
+	Requested int
+	// Placed is how many nodes stored the advertisement.
+	Placed int
+	// FailedSends counts member contacts that failed at the routing or
+	// MAC layer.
+	FailedSends int
+}
+
+// Counters aggregates protocol-level diagnostics across all operations.
+type Counters struct {
+	// Salvations counts walk forwardings saved by retrying a different
+	// neighbor after a MAC failure.
+	Salvations int
+	// WalkDrops counts walks that died with no forwarding option.
+	WalkDrops int
+	// WalkExpirations counts walks terminated by the step cap before
+	// covering their target (e.g. trapped in a small network pocket).
+	WalkExpirations int
+	// ReplyDrops counts replies abandoned on a broken reverse path.
+	ReplyDrops int
+	// LocalRepairs counts reply hops rescued by TTL-scoped routing.
+	LocalRepairs int
+	// FullRouteRepairs counts replies rescued by unscoped routing as the
+	// last resort.
+	FullRouteRepairs int
+	// PathReductions counts reply hops skipped via path reduction.
+	PathReductions int
+	// Adaptations counts RANDOM member contacts redirected to a fresh
+	// random node after a failure notification (Section 6.2).
+	Adaptations int
+	// CacheHits counts lookups answered from a bystander cache.
+	CacheHits int
+	// RingEscalations counts expanding-ring rounds beyond the first.
+	RingEscalations int
+	// OverhearReplies counts walk lookups answered by promiscuous
+	// overhearers (Section 7.2).
+	OverhearReplies int
+}
+
+// System runs a probabilistic biquorum system over a network. Construct one
+// per simulation run with New.
+type System struct {
+	net     *netstack.Network
+	routing aodv.Router
+	members *membership.Service
+	cfg     Config
+	engine  *sim.Engine
+
+	stores  []*Store
+	opSeq   uint32
+	lookups map[opID]*pendingLookup
+	ads     map[opID]*pendingAdvertise
+	// opAlias maps child operations (e.g. one expanding-ring round) to
+	// their parent lookup.
+	opAlias map[opID]opID
+
+	// flood bookkeeping: per-op per-node previous hop (reverse path) and
+	// coverage counts.
+	floodPrev     map[opID]map[int]int
+	floodCoverage map[opID]int
+
+	counters Counters
+}
+
+type pendingLookup struct {
+	id          opID
+	key         string
+	done        func(LookupResult)
+	timer       *sim.Timer
+	issued      float64
+	finished    bool
+	intersected bool
+	// serial Random lookup state
+	serialTargets []int
+	serialNext    int
+	// collect mode (LookupCollect): gather every reply in a window
+	// instead of finishing on the first one.
+	collect     bool
+	collected   []string
+	collectDone func(CollectResult)
+	// children are expanding-ring round ops aliased to this lookup,
+	// released together with it.
+	children []opID
+}
+
+type pendingAdvertise struct {
+	id       opID
+	res      AdvertiseResult
+	done     func(AdvertiseResult)
+	pending  int // outstanding member contacts (Random) or 1 while walk alive
+	finished bool
+	// storedAt tracks the distinct nodes this operation has written.
+	storedAt map[int]bool
+	// children are expanding-ring round ops aliased to this advertise.
+	children []opID
+}
+
+// New installs the quorum protocol on every node of net. routing is any
+// aodv.Router (AODV or the zero-overhead Oracle baseline) and may be nil
+// only when neither strategy needs it (pure walk/flood mixes); members may
+// be nil only when no Random/RandomOpt strategy is used.
+func New(net *netstack.Network, routing aodv.Router, members *membership.Service, cfg Config) *System {
+	applyDefaults(&cfg, net.N())
+	s := &System{
+		net:           net,
+		routing:       routing,
+		members:       members,
+		cfg:           cfg,
+		engine:        net.Engine(),
+		stores:        make([]*Store, net.N()),
+		lookups:       make(map[opID]*pendingLookup),
+		ads:           make(map[opID]*pendingAdvertise),
+		opAlias:       make(map[opID]opID),
+		floodPrev:     make(map[opID]map[int]int),
+		floodCoverage: make(map[opID]int),
+	}
+	needsRouting := cfg.AdvertiseStrategy == Random || cfg.AdvertiseStrategy == RandomOpt ||
+		cfg.LookupStrategy == Random || cfg.LookupStrategy == RandomOpt ||
+		cfg.ReplyLocalRepair
+	if needsRouting && routing == nil {
+		panic("quorum: configuration requires routing but none was provided")
+	}
+	needsMembers := cfg.AdvertiseStrategy == Random || cfg.AdvertiseStrategy == RandomOpt ||
+		cfg.LookupStrategy == Random || cfg.LookupStrategy == RandomOpt
+	if needsMembers && members == nil {
+		panic("quorum: configuration requires a membership service but none was provided")
+	}
+	for id := 0; id < net.N(); id++ {
+		s.stores[id] = NewStore()
+		net.Node(id).Register(netstack.ProtoQuorum, &nodeDispatch{s: s})
+	}
+	if cfg.AdvertiseStrategy == RandomOpt || cfg.LookupStrategy == RandomOpt {
+		for id := 0; id < net.N(); id++ {
+			id := id
+			routing.AddTransitTap(id, func(at *netstack.Node, inner *netstack.Packet) bool {
+				return s.transitTap(at, inner)
+			})
+		}
+	}
+	if cfg.Overhearing {
+		for id := 0; id < net.N(); id++ {
+			net.Node(id).AddOverhearTap(s.overhearTap)
+		}
+	}
+	return s
+}
+
+// resolve follows child-operation aliases (expanding-ring rounds) to the
+// parent operation that owns the pending-lookup state.
+func (s *System) resolve(op opID) opID {
+	if parent, ok := s.opAlias[op]; ok {
+		return parent
+	}
+	return op
+}
+
+func applyDefaults(cfg *Config, n int) {
+	if cfg.PayloadBytes == 0 {
+		cfg.PayloadBytes = 512
+	}
+	if cfg.LookupTimeout == 0 {
+		cfg.LookupTimeout = 30
+	}
+	if cfg.RepairTTL == 0 {
+		cfg.RepairTTL = 3
+	}
+	if cfg.RandomOptTargets == 0 {
+		cfg.RandomOptTargets = lnCeil(n)
+	}
+	if cfg.AdvertiseSize == 0 {
+		cfg.AdvertiseSize = AdvertiseSizeDefault(n)
+	}
+	if cfg.LookupSize == 0 {
+		cfg.LookupSize = LookupSizeFor(n, 0.9)
+	}
+	if cfg.AdvertiseTTL == 0 {
+		cfg.AdvertiseTTL = 3
+	}
+	if cfg.LookupTTL == 0 {
+		cfg.LookupTTL = 3
+	}
+	if cfg.MaxRingTTL == 0 {
+		cfg.MaxRingTTL = 7
+	}
+	if cfg.SampleWalkSteps == 0 {
+		cfg.SampleWalkSteps = n / 2
+		if cfg.SampleWalkSteps < 10 {
+			cfg.SampleWalkSteps = 10
+		}
+	}
+	if cfg.MaxDegreeEstimate == 0 {
+		cfg.MaxDegreeEstimate = 24
+	}
+}
+
+// Config returns the defaults-filled configuration in use.
+func (s *System) Config() Config { return s.cfg }
+
+// SetLookupSize adjusts |Qℓ| at runtime — the paper's dynamic adaptation of
+// the lookup quorum to an estimated network size n(t) (Section 6.1).
+func (s *System) SetLookupSize(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.cfg.LookupSize = k
+}
+
+// Store returns node id's local location store.
+func (s *System) Store(id int) *Store { return s.stores[id] }
+
+// Counters returns protocol diagnostics accumulated so far.
+func (s *System) Counters() Counters { return s.counters }
+
+// nodeDispatch adapts netstack handler dispatch to the System.
+type nodeDispatch struct{ s *System }
+
+// HandlePacket implements netstack.Handler.
+func (d *nodeDispatch) HandlePacket(n *netstack.Node, pkt *netstack.Packet, from int) {
+	switch m := pkt.Payload.(type) {
+	case *walkMsg:
+		d.s.handleWalk(n, pkt, m)
+	case *directMsg:
+		d.s.handleDirect(n, m)
+	case *replyMsg:
+		d.s.handleReply(n, m)
+	case *floodMsg:
+		d.s.handleFlood(n, pkt, m, from)
+	case *sampleMsg:
+		d.s.handleSample(n, m)
+	}
+}
+
+func (s *System) nextOp(origin int) opID {
+	s.opSeq++
+	return opID{Origin: origin, Seq: s.opSeq}
+}
+
+// newPacket builds a quorum packet of the configured payload size.
+func (s *System) newPacket(src, dst int, payload any) *netstack.Packet {
+	return &netstack.Packet{
+		Proto: netstack.ProtoQuorum, Src: src, Dst: dst,
+		Bytes: s.cfg.PayloadBytes, Payload: payload,
+	}
+}

@@ -1,0 +1,165 @@
+package quorum
+
+import "probquorum/internal/netstack"
+
+// replyMsg carries a lookup hit back to the originator. Walk and flooding
+// replies travel the recorded reverse path (Path / per-node previous hops);
+// routed replies (Random, RandomOpt) arrive directly via AODV.
+type replyMsg struct {
+	Op         opID
+	Key, Value string
+	// Path is the walk's visited list, origin first; Idx is the holder's
+	// current position in it. Nil for routed and flooding replies.
+	Path []int
+	Idx  int
+	// Flood marks a reply travelling a flood's per-node previous-hop
+	// chain instead of an explicit path.
+	Flood bool
+}
+
+// handleReply processes a reply arriving at node n (off the air or via
+// routed delivery during local repair).
+func (s *System) handleReply(n *netstack.Node, r *replyMsg) {
+	if s.cfg.Caching {
+		// Relay nodes cache the mapping as bystanders (Section 7.1).
+		if n.ID() != r.Op.Origin {
+			s.cacheAt(n.ID(), r.Key, r.Value)
+		}
+	}
+	if n.ID() == r.Op.Origin {
+		s.completeLookup(r.Op, r.Value)
+		return
+	}
+	switch {
+	case r.Flood:
+		s.forwardFloodReply(n, r)
+	case r.Path != nil:
+		// Re-anchor Idx to this node's position in the path: after a
+		// repaired (routed) hop the holder may differ from Path[Idx].
+		r2 := *r
+		for i, v := range r.Path {
+			if v == n.ID() {
+				r2.Idx = i
+				break
+			}
+		}
+		s.forwardReply(n, &r2)
+	default:
+		// Routed reply not yet at the origin: nothing to forward; the
+		// routing layer delivers only at the destination.
+	}
+}
+
+// forwardReply moves a walk reply one step toward the origin along the
+// recorded path, applying reply-path reduction and, on failure, local
+// repair.
+func (s *System) forwardReply(n *netstack.Node, r *replyMsg) {
+	if r.Idx <= 0 || n.ID() == r.Path[0] {
+		s.completeLookup(r.Op, r.Value)
+		return
+	}
+	j := r.Idx - 1
+	if s.cfg.ReplyPathReduction {
+		// Skip to the earliest path node that is currently a direct
+		// neighbor (Section 7.2).
+		nbset := make(map[int]bool)
+		for _, nb := range s.net.Neighbors(n.ID()) {
+			nbset[nb] = true
+		}
+		for i := 0; i < j; i++ {
+			if nbset[r.Path[i]] {
+				s.counters.PathReductions += j - i
+				j = i
+				break
+			}
+		}
+	}
+	next := &replyMsg{Op: r.Op, Key: r.Key, Value: r.Value, Path: r.Path, Idx: j}
+	pkt := s.newPacket(n.ID(), r.Path[j], next)
+	n.SendOneHop(r.Path[j], pkt, func(ok bool) {
+		if ok {
+			return
+		}
+		s.replyHopBroken(n, r, j)
+	})
+}
+
+// replyHopBroken reacts to a MAC failure delivering a reply to Path[j]:
+// without repair the reply is dropped (Fig. 13); with repair, TTL-scoped
+// routing tries successive earlier path nodes, ending with unscoped routing
+// to the origin as a last resort (Section 6.2).
+func (s *System) replyHopBroken(n *netstack.Node, r *replyMsg, j int) {
+	if !s.cfg.ReplyLocalRepair {
+		s.counters.ReplyDrops++
+		return
+	}
+	if j == 0 {
+		// The failed hop was the origin itself: full routing.
+		s.fullRouteReply(n, r)
+		return
+	}
+	s.tryScopedRepair(n, r, j-1)
+}
+
+// tryScopedRepair attempts TTL-limited routed delivery to Path[c], falling
+// back toward the origin on failure.
+func (s *System) tryScopedRepair(n *netstack.Node, r *replyMsg, c int) {
+	if c < 0 {
+		s.fullRouteReply(n, r)
+		return
+	}
+	next := &replyMsg{Op: r.Op, Key: r.Key, Value: r.Value, Path: r.Path, Idx: c}
+	pkt := s.newPacket(n.ID(), r.Path[c], next)
+	s.routing.SendScoped(n.ID(), r.Path[c], pkt, s.cfg.RepairTTL, func(ok bool) {
+		if ok {
+			s.counters.LocalRepairs++
+			return
+		}
+		if c == 0 {
+			s.fullRouteReply(n, r)
+			return
+		}
+		s.tryScopedRepair(n, r, c-1)
+	})
+}
+
+// fullRouteReply is the last-resort unscoped routed delivery to the origin.
+func (s *System) fullRouteReply(n *netstack.Node, r *replyMsg) {
+	origin := r.Op.Origin
+	next := &replyMsg{Op: r.Op, Key: r.Key, Value: r.Value, Path: r.Path, Idx: 0}
+	pkt := s.newPacket(n.ID(), origin, next)
+	s.routing.Send(n.ID(), origin, pkt, func(ok bool) {
+		if ok {
+			s.counters.FullRouteRepairs++
+		} else {
+			s.counters.ReplyDrops++
+		}
+	})
+}
+
+// forwardFloodReply moves a flooding reply one hop along the per-node
+// previous-hop chain recorded while the flood spread.
+func (s *System) forwardFloodReply(n *netstack.Node, r *replyMsg) {
+	prevMap := s.floodPrev[r.Op]
+	if prevMap == nil {
+		s.counters.ReplyDrops++
+		return
+	}
+	prev, ok := prevMap[n.ID()]
+	if !ok || prev == n.ID() {
+		s.counters.ReplyDrops++
+		return
+	}
+	next := &replyMsg{Op: r.Op, Key: r.Key, Value: r.Value, Flood: true}
+	pkt := s.newPacket(n.ID(), prev, next)
+	n.SendOneHop(prev, pkt, func(ok bool) {
+		if ok {
+			return
+		}
+		if s.cfg.ReplyLocalRepair && s.routing != nil {
+			s.fullRouteReply(n, &replyMsg{Op: r.Op, Key: r.Key, Value: r.Value, Path: []int{r.Op.Origin}})
+			return
+		}
+		s.counters.ReplyDrops++
+	})
+}

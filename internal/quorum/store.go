@@ -1,0 +1,75 @@
+package quorum
+
+// Store is a node's local slice of the distributed dictionary: the
+// advertisements it holds as an owner (a member of some advertise quorum)
+// and the mappings it has merely overheard or relayed (bystander cache,
+// Section 7.1). Bystander entries may be evicted under memory pressure;
+// owner entries are the quorum's durable state.
+type Store struct {
+	entries map[string]storeEntry
+}
+
+type storeEntry struct {
+	value string
+	owner bool
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]storeEntry)}
+}
+
+// Put stores a mapping. Owner status is sticky: once a node owns a key, a
+// later bystander Put cannot demote it.
+func (st *Store) Put(key, value string, owner bool) {
+	if e, ok := st.entries[key]; ok {
+		st.entries[key] = storeEntry{value: value, owner: e.owner || owner}
+		return
+	}
+	st.entries[key] = storeEntry{value: value, owner: owner}
+}
+
+// Get returns the stored value for key, if any (owner or bystander).
+func (st *Store) Get(key string) (value string, ok bool) {
+	e, ok := st.entries[key]
+	return e.value, ok
+}
+
+// GetOwned returns the value only if this node owns the key.
+func (st *Store) GetOwned(key string) (value string, ok bool) {
+	e, ok := st.entries[key]
+	if !ok || !e.owner {
+		return "", false
+	}
+	return e.value, true
+}
+
+// Owner reports whether this node is an owner for key.
+func (st *Store) Owner(key string) bool { return st.entries[key].owner }
+
+// Delete removes a key entirely.
+func (st *Store) Delete(key string) { delete(st.entries, key) }
+
+// EvictBystanders drops every cached (non-owner) entry, modelling a node
+// running low on memory (Section 7.1).
+func (st *Store) EvictBystanders() {
+	for k, e := range st.entries {
+		if !e.owner {
+			delete(st.entries, k)
+		}
+	}
+}
+
+// Len returns the number of stored mappings.
+func (st *Store) Len() int { return len(st.entries) }
+
+// OwnedLen returns the number of mappings held as owner.
+func (st *Store) OwnedLen() int {
+	n := 0
+	for _, e := range st.entries {
+		if e.owner {
+			n++
+		}
+	}
+	return n
+}

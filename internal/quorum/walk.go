@@ -1,0 +1,190 @@
+package quorum
+
+import "probquorum/internal/netstack"
+
+// walkMsg carries a PATH / UNIQUE-PATH quorum access. The visited-node list
+// in the header both counts distinct coverage and records the reverse path
+// for replies, as the paper describes (Section 4.2).
+type walkMsg struct {
+	Op           opID
+	Advertise    bool
+	Key, Value   string
+	Target       int
+	SelfAvoiding bool
+	// NoHalt overrides early halting for this walk (collect-mode
+	// lookups must cover the full quorum).
+	NoHalt  bool
+	Visited []int // path so far, origin first
+	Unique  int   // distinct nodes among Visited
+}
+
+// startWalk launches a random-walk quorum access at origin. The origin
+// itself is the first covered node.
+func (s *System) startWalk(origin int, op opID, advertise bool, key, value string, target int, selfAvoiding bool) {
+	s.launchWalk(origin, op, advertise, false, key, value, target, selfAvoiding)
+}
+
+// startWalkNoHalt launches a lookup walk that covers its full target even
+// past hits (collect mode).
+func (s *System) startWalkNoHalt(origin int, op opID, key string, target int, selfAvoiding bool) {
+	s.launchWalk(origin, op, false, true, key, "", target, selfAvoiding)
+}
+
+func (s *System) launchWalk(origin int, op opID, advertise, noHalt bool, key, value string, target int, selfAvoiding bool) {
+	m := &walkMsg{
+		Op: op, Advertise: advertise, Key: key, Value: value,
+		Target: target, SelfAvoiding: selfAvoiding, NoHalt: noHalt,
+		Visited: []int{origin}, Unique: 1,
+	}
+	if advertise {
+		s.storeAt(origin, key, value, true, op)
+	}
+	node := s.net.Node(origin)
+	if m.Unique >= m.Target {
+		s.walkEnded(m)
+		return
+	}
+	s.forwardWalk(node, m)
+}
+
+// handleWalk processes a walk message arriving at node n.
+func (s *System) handleWalk(n *netstack.Node, _ *netstack.Packet, m *walkMsg) {
+	u := n.ID()
+	revisit := false
+	for _, v := range m.Visited {
+		if v == u {
+			revisit = true
+			break
+		}
+	}
+	next := &walkMsg{
+		Op: m.Op, Advertise: m.Advertise, Key: m.Key, Value: m.Value,
+		Target: m.Target, SelfAvoiding: m.SelfAvoiding, NoHalt: m.NoHalt,
+		Visited: append(append(make([]int, 0, len(m.Visited)+1), m.Visited...), u),
+		Unique:  m.Unique,
+	}
+	if !revisit {
+		next.Unique++
+	}
+
+	if m.Advertise {
+		s.storeAt(u, m.Key, m.Value, true, m.Op)
+	} else if value, ok := s.stores[u].Get(m.Key); ok {
+		// Lookup hit at this node.
+		s.markIntersected(m.Op)
+		if !s.stores[u].Owner(m.Key) {
+			s.counters.CacheHits++
+		}
+		if lk := s.lookups[m.Op]; lk != nil && !lk.finished {
+			s.sendWalkReply(n, next, value)
+		}
+		if s.cfg.EarlyHalt && !m.NoHalt {
+			return // stop the walk at the first hit (Section 7.1)
+		}
+	}
+
+	if next.Unique >= next.Target {
+		s.walkEnded(next)
+		return
+	}
+	s.forwardWalk(n, next)
+}
+
+// walkStepCap bounds a walk's total steps. A walk trapped in a network
+// pocket smaller than its target could otherwise wander forever; real
+// deployments bound the walk with a TTL for the same reason (the paper
+// plots "RW TTL" in Fig. 12). The cap is generous relative to the measured
+// partial cover times (≈1.3–2.5 steps per unique node, Fig. 4).
+func (s *System) walkStepCap(target int) int {
+	factor := s.cfg.WalkTTLFactor
+	if factor <= 0 {
+		factor = 8
+	}
+	return factor*target + 20
+}
+
+// forwardWalk picks the next hop and sends, salvaging through alternative
+// neighbors on MAC failure when configured (Section 6.2).
+func (s *System) forwardWalk(n *netstack.Node, m *walkMsg) {
+	if len(m.Visited) >= s.walkStepCap(m.Target) {
+		s.counters.WalkExpirations++
+		s.walkEnded(m)
+		return
+	}
+	neighbors := s.net.Neighbors(n.ID())
+	pool := make([]int, len(neighbors))
+	copy(pool, neighbors)
+	s.tryForwardWalk(n, m, pool, true)
+}
+
+// tryForwardWalk attempts one forwarding step from the candidate pool.
+// first marks the initial attempt (later ones are salvations).
+func (s *System) tryForwardWalk(n *netstack.Node, m *walkMsg, pool []int, first bool) {
+	if len(pool) == 0 {
+		s.counters.WalkDrops++
+		s.walkEnded(m)
+		return
+	}
+	idx := s.pickWalkNext(m, pool)
+	next := pool[idx]
+	pool[idx] = pool[len(pool)-1]
+	pool = pool[:len(pool)-1]
+
+	pkt := s.newPacket(n.ID(), next, m)
+	n.SendOneHop(next, pkt, func(ok bool) {
+		if ok {
+			return
+		}
+		if !s.cfg.Salvation {
+			s.counters.WalkDrops++
+			s.walkEnded(m)
+			return
+		}
+		s.counters.Salvations++
+		s.tryForwardWalk(n, m, pool, false)
+	})
+	_ = first
+}
+
+// pickWalkNext selects the candidate index: a uniformly random neighbor for
+// PATH; for UNIQUE-PATH a uniformly random unvisited neighbor, falling back
+// to any neighbor when all have been visited (Section 4.3).
+func (s *System) pickWalkNext(m *walkMsg, pool []int) int {
+	rng := s.engine.Rand()
+	if !m.SelfAvoiding {
+		return rng.Intn(len(pool))
+	}
+	visited := make(map[int]bool, len(m.Visited))
+	for _, v := range m.Visited {
+		visited[v] = true
+	}
+	var fresh []int
+	for i, c := range pool {
+		if !visited[c] {
+			fresh = append(fresh, i)
+		}
+	}
+	if len(fresh) == 0 {
+		return rng.Intn(len(pool))
+	}
+	return fresh[rng.Intn(len(fresh))]
+}
+
+// walkEnded finalizes bookkeeping when a walk stops (target covered or
+// dropped): advertise walks complete their operation; lookup walks that end
+// without a hit leave the origin to time out into a miss.
+func (s *System) walkEnded(m *walkMsg) {
+	if m.Advertise {
+		s.advertiseSettled(m.Op)
+	}
+}
+
+// sendWalkReply starts a reply from the hit node back along the walk's
+// recorded reverse path.
+func (s *System) sendWalkReply(n *netstack.Node, m *walkMsg, value string) {
+	r := &replyMsg{
+		Op: m.Op, Key: m.Key, Value: value,
+		Path: m.Visited, Idx: len(m.Visited) - 1,
+	}
+	s.forwardReply(n, r)
+}

@@ -1,0 +1,289 @@
+package register
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"probquorum/internal/aodv"
+	"probquorum/internal/membership"
+	"probquorum/internal/netstack"
+	"probquorum/internal/quorum"
+	"probquorum/internal/sim"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(ver uint64, writer uint16, data string) bool {
+		v := Versioned{Version: ver, Writer: int(writer), Data: data}
+		return Decode(Encode(v)) == v
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeForeignValue(t *testing.T) {
+	v := Decode("not-a-register-value")
+	if v.Version != 0 || v.Data != "not-a-register-value" {
+		t.Fatalf("foreign decode = %+v", v)
+	}
+	// Pipes in the payload survive.
+	v2 := Decode(Encode(Versioned{Version: 3, Writer: 1, Data: "a|b|c"}))
+	if v2.Data != "a|b|c" {
+		t.Fatalf("payload with separators mangled: %+v", v2)
+	}
+}
+
+func TestLessOrdering(t *testing.T) {
+	a := Versioned{Version: 1, Writer: 5}
+	b := Versioned{Version: 2, Writer: 1}
+	c := Versioned{Version: 2, Writer: 7}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("Less ordering broken")
+	}
+}
+
+func TestMergePicksNewest(t *testing.T) {
+	old := Encode(Versioned{Version: 5, Writer: 1, Data: "old"})
+	newer := Encode(Versioned{Version: 6, Writer: 0, Data: "new"})
+	if Merge("k", old, newer) != newer {
+		t.Fatal("newer version lost")
+	}
+	if Merge("k", newer, old) != newer {
+		t.Fatal("older version overwrote newer")
+	}
+	// Version tie: higher writer wins, symmetrically.
+	w1 := Encode(Versioned{Version: 7, Writer: 1, Data: "w1"})
+	w2 := Encode(Versioned{Version: 7, Writer: 2, Data: "w2"})
+	if Merge("k", w1, w2) != w2 || Merge("k", w2, w1) != w2 {
+		t.Fatal("tie-break not deterministic")
+	}
+}
+
+func TestMergeProperty(t *testing.T) {
+	// Merge is commutative in outcome and idempotent.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a := Encode(Versioned{Version: uint64(rng.Intn(5)), Writer: rng.Intn(3), Data: fmt.Sprint(rng.Intn(100))})
+		b := Encode(Versioned{Version: uint64(rng.Intn(5)), Writer: rng.Intn(3), Data: fmt.Sprint(rng.Intn(100))})
+		if Merge("k", a, b) != Merge("k", b, a) {
+			t.Fatalf("not commutative: %q vs %q", a, b)
+		}
+		if Merge("k", a, a) != a {
+			t.Fatal("not idempotent")
+		}
+	}
+}
+
+// testSystem builds an ideal-stack quorum system with the register Merge
+// installed.
+func testSystem(seed int64, n int) (*sim.Engine, *quorum.System) {
+	e := sim.NewEngine(seed)
+	net := netstack.New(e, netstack.Config{N: n, AvgDegree: 12, Stack: netstack.StackIdeal})
+	routing := aodv.New(net, aodv.Config{})
+	members := membership.New(net, membership.Config{})
+	cfg := quorum.DefaultConfig(n)
+	cfg.LookupTimeout = 10
+	cfg.Merge = Merge
+	return e, quorum.New(net, routing, members, cfg)
+}
+
+func runUntil(e *sim.Engine, done *bool) {
+	for !*done {
+		e.Run(e.Now() + 1)
+	}
+}
+
+func TestRegisterWriteThenRead(t *testing.T) {
+	e, sys := testSystem(1, 100)
+	r := New(sys, "config", Config{})
+	finished := false
+	r.Write(3, "v1", func(v Versioned, placed int) {
+		if v.Version != 1 || placed == 0 {
+			t.Errorf("write result v=%+v placed=%d", v, placed)
+		}
+		finished = true
+	})
+	runUntil(e, &finished)
+
+	finished = false
+	r.Read(77, func(res ReadResult) {
+		if !res.OK || res.Value != "v1" || res.Version != 1 {
+			t.Errorf("read result %+v", res)
+		}
+		finished = true
+	})
+	runUntil(e, &finished)
+}
+
+func TestRegisterReadUnwritten(t *testing.T) {
+	e, sys := testSystem(2, 60)
+	r := New(sys, "none", Config{})
+	finished := false
+	r.Read(5, func(res ReadResult) {
+		if res.OK {
+			t.Error("read of unwritten register returned OK")
+		}
+		finished = true
+	})
+	runUntil(e, &finished)
+}
+
+func TestRegisterVersionsIncrease(t *testing.T) {
+	e, sys := testSystem(3, 100)
+	r := New(sys, "counter", Config{})
+	var versions []uint64
+	for i := 0; i < 5; i++ {
+		finished := false
+		writer := (i*31 + 2) % 100
+		r.Write(writer, fmt.Sprintf("val-%d", i), func(v Versioned, _ int) {
+			versions = append(versions, v.Version)
+			finished = true
+		})
+		runUntil(e, &finished)
+	}
+	// Probabilistic semantics: a write's read-phase may miss the latest
+	// version (probability ≈ ε per operation), so versions need not be
+	// strictly increasing — but they grow overall and never start below 1.
+	increases := 0
+	for i := 1; i < len(versions); i++ {
+		if versions[i] > versions[i-1] {
+			increases++
+		}
+		if versions[i] < 1 {
+			t.Fatalf("version below 1: %v", versions)
+		}
+	}
+	if increases < 2 || versions[len(versions)-1] < 3 {
+		t.Fatalf("versions barely grew across 5 writes: %v", versions)
+	}
+	// A final read returns a written value stamped consistently.
+	finished := false
+	r.Read(50, func(res ReadResult) {
+		if !res.OK {
+			t.Error("final read missed")
+		}
+		finished = true
+	})
+	runUntil(e, &finished)
+}
+
+func TestRegisterMergeProtectsReplicas(t *testing.T) {
+	e, sys := testSystem(4, 100)
+	r := New(sys, "k", Config{})
+	finished := false
+	r.Write(0, "new", func(v Versioned, _ int) { finished = true })
+	runUntil(e, &finished)
+	// Directly advertise a stale (version-0) value: Merge must keep the
+	// newer value at every replica both writes touched.
+	finished = false
+	sys.Advertise(1, "k", Encode(Versioned{Version: 0, Writer: 1, Data: "stale"}),
+		func(quorum.AdvertiseResult) { finished = true })
+	runUntil(e, &finished)
+	stale := 0
+	for id := 0; id < 100; id++ {
+		if val, ok := sys.Store(id).Get("k"); ok {
+			if Decode(val).Data == "stale" && Decode(val).Version == 0 {
+				stale++
+			}
+		}
+	}
+	// Nodes only the stale advertise touched may hold it (they never saw
+	// the newer value), but no node that held v1 may have regressed.
+	for id := 0; id < 100; id++ {
+		if val, ok := sys.Store(id).Get("k"); ok {
+			v := Decode(val)
+			if v.Version == 0 && v.Data != "stale" {
+				t.Fatalf("replica %d holds corrupted value %+v", id, v)
+			}
+		}
+	}
+	_ = stale
+}
+
+func TestRegisterWriteBack(t *testing.T) {
+	e, sys := testSystem(5, 100)
+	r := New(sys, "wb", Config{WriteBack: true})
+	finished := false
+	r.Write(0, "data", func(Versioned, int) { finished = true })
+	runUntil(e, &finished)
+	ownersBefore := countOwners(sys, 100, "wb")
+	finished = false
+	r.Read(60, func(ReadResult) { finished = true })
+	runUntil(e, &finished)
+	e.Run(e.Now() + 30) // let the write-back advertise finish
+	ownersAfter := countOwners(sys, 100, "wb")
+	if ownersAfter <= ownersBefore {
+		t.Fatalf("write-back did not refresh replicas: %d → %d", ownersBefore, ownersAfter)
+	}
+}
+
+func countOwners(sys *quorum.System, n int, key string) int {
+	c := 0
+	for id := 0; id < n; id++ {
+		if sys.Store(id).Owner(key) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestRegisterConcurrentWritersConverge(t *testing.T) {
+	e, sys := testSystem(6, 100)
+	r := New(sys, "shared", Config{})
+	done := 0
+	for _, w := range []int{10, 55, 90} {
+		w := w
+		r.Write(w, fmt.Sprintf("from-%d", w), func(Versioned, int) { done++ })
+	}
+	for done < 3 {
+		e.Run(e.Now() + 1)
+	}
+	e.Run(e.Now() + 20)
+	// All replicas that hold the key at the max stamp agree on the value.
+	var top Versioned
+	for id := 0; id < 100; id++ {
+		if val, ok := sys.Store(id).Get("shared"); ok {
+			if v := Decode(val); top.Less(v) {
+				top = v
+			}
+		}
+	}
+	for id := 0; id < 100; id++ {
+		if val, ok := sys.Store(id).Get("shared"); ok {
+			v := Decode(val)
+			if v.Version == top.Version && v.Writer == top.Writer && v.Data != top.Data {
+				t.Fatalf("replicas diverge at the top stamp: %+v vs %+v", v, top)
+			}
+		}
+	}
+}
+
+func TestRegisterReadSeesLatestVersion(t *testing.T) {
+	// With collect-mode reads, sequential writes are observed in order:
+	// every read after write i returns version ≥ i's stamp (seeds chosen
+	// for a deterministic pass; misses are probabilistically possible).
+	e, sys := testSystem(7, 100)
+	r := New(sys, "seq", Config{})
+	var lastWritten uint64
+	for i := 0; i < 4; i++ {
+		finished := false
+		r.Write((i*37+9)%100, fmt.Sprintf("gen-%d", i), func(v Versioned, _ int) {
+			lastWritten = v.Version
+			finished = true
+		})
+		runUntil(e, &finished)
+
+		finished = false
+		r.Read((i*53+20)%100, func(res ReadResult) {
+			if res.OK && res.Version < lastWritten {
+				t.Errorf("read after write %d returned stale version %d < %d",
+					i, res.Version, lastWritten)
+			}
+			finished = true
+		})
+		runUntil(e, &finished)
+	}
+}

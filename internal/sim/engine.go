@@ -1,0 +1,173 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every other package runs on: protocol stacks
+// schedule closures at absolute or relative simulation times, and the engine
+// executes them in nondecreasing time order with FIFO tie-breaking, so a run
+// with a fixed seed is fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled closure. It can be cancelled before it fires.
+type Event struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Time returns the simulation time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with an attached random source.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// processed counts events executed so far (cancelled events excluded).
+	processed uint64
+}
+
+// NewEngine returns an engine at time zero whose random source is seeded
+// with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Rand returns the engine's random source. All protocol randomness should
+// come from this source (or a stream derived from it) for reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NewStream derives an independent deterministic random stream from the
+// engine's source. Use one stream per stochastic subsystem so that adding
+// randomness to one subsystem does not perturb another.
+func (e *Engine) NewStream() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after delay seconds. A negative delay is an error by the
+// caller; it is clamped to zero so the event fires "now" (after currently
+// queued same-time events).
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t. Scheduling in the past fires the event at
+// the current time.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or simulation time would
+// exceed until. Events scheduled exactly at until are executed. It returns
+// the number of events executed during this call.
+func (e *Engine) Run(until float64) uint64 {
+	start := e.processed
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.time
+		next.fn()
+		e.processed++
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.processed - start
+}
+
+// RunAll executes events until the queue is empty. It is intended for tests
+// and analytic drivers; simulations with periodic timers never drain.
+func (e *Engine) RunAll(maxEvents uint64) error {
+	e.stopped = false
+	var n uint64
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.time
+		next.fn()
+		e.processed++
+		n++
+		if n >= maxEvents {
+			return fmt.Errorf("sim: RunAll exceeded %d events", maxEvents)
+		}
+	}
+	return nil
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(2.0, func() { got = append(got, 2) })
+	e.Schedule(1.0, func() { got = append(got, 1) })
+	e.Schedule(3.0, func() { got = append(got, 3) })
+	e.Run(10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.At(1.0, func() { got = append(got, i) })
+	}
+	e.Run(1.0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at %d: %v", i, got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	e.Run(2)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() should be true")
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var times []float64
+	var recur func()
+	n := 0
+	recur = func() {
+		times = append(times, e.Now())
+		n++
+		if n < 5 {
+			e.Schedule(0.5, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.Run(100)
+	want := []float64{0, 0.5, 1.0, 1.5, 2.0}
+	if len(times) != len(want) {
+		t.Fatalf("got %d events, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("event %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestEngineRunBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var fired []float64
+	e.At(1.0, func() { fired = append(fired, 1.0) })
+	e.At(2.0, func() { fired = append(fired, 2.0) })
+	e.At(2.5, func() { fired = append(fired, 2.5) })
+	n := e.Run(2.0)
+	if n != 2 {
+		t.Fatalf("executed %d events, want 2 (events at exactly `until` included)", n)
+	}
+	if e.Now() != 2.0 {
+		t.Fatalf("Now() = %v, want 2.0", e.Now())
+	}
+	n = e.Run(3.0)
+	if n != 1 {
+		t.Fatalf("second Run executed %d, want 1", n)
+	}
+}
+
+func TestEnginePastScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var at float64 = -1
+	e.At(5, func() {
+		e.At(1, func() { at = e.Now() }) // in the past: clamped to now
+	})
+	e.Run(10)
+	if at != 5 {
+		t.Fatalf("past event fired at %v, want 5", at)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(-3, func() { fired = true })
+	e.Run(0)
+	if !fired {
+		t.Fatal("negative-delay event did not fire at time 0")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := NewEngine(seed)
+		var out []float64
+		for i := 0; i < 100; i++ {
+			e.Schedule(e.Rand().Float64()*10, func() { out = append(out, e.Now()) })
+		}
+		e.Run(20)
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("runs with same seed differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs with same seed diverge at %d", i)
+		}
+	}
+}
+
+func TestEngineRandomOrderProperty(t *testing.T) {
+	// Property: however events are inserted, execution times are sorted.
+	f := func(delays []float64) bool {
+		e := NewEngine(7)
+		var seen []float64
+		for _, d := range delays {
+			d = math.Abs(math.Mod(d, 1)) // keep in [0,1)
+			if math.IsNaN(d) {
+				d = 0
+			}
+			e.Schedule(d, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run(2)
+		return sort.Float64sAreSorted(seen) && len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []float64
+	tk := NewTicker(e, 0.25, 1.0, func() { ticks = append(ticks, e.Now()) })
+	e.Run(3.3)
+	tk.Stop()
+	e.Run(10)
+	want := []float64{0.25, 1.25, 2.25, 3.25}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d ticks %v, want %v", len(ticks), ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(e, 0, 1, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run(10)
+	if n != 2 {
+		t.Fatalf("ticker fired %d times after in-callback Stop, want 2", n)
+	}
+}
+
+func TestTimerResetAndCancel(t *testing.T) {
+	e := NewEngine(1)
+	var fired []float64
+	tm := NewTimer(e, func() { fired = append(fired, e.Now()) })
+	tm.Reset(1)
+	tm.Reset(2) // supersedes
+	e.Run(5)
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("timer fired %v, want [2]", fired)
+	}
+	if tm.Armed() {
+		t.Fatal("timer should be disarmed after firing")
+	}
+	tm.Reset(1)
+	tm.Cancel()
+	e.Run(10)
+	if len(fired) != 1 {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	e1 := NewEngine(9)
+	e2 := NewEngine(9)
+	s1a, s1b := e1.NewStream(), e1.NewStream()
+	s2a, s2b := e2.NewStream(), e2.NewStream()
+	for i := 0; i < 10; i++ {
+		if s1a.Int63() != s2a.Int63() || s1b.Int63() != s2b.Int63() {
+			t.Fatal("streams not reproducible across engines with same seed")
+		}
+	}
+}
+
+func TestRunAllLimit(t *testing.T) {
+	e := NewEngine(1)
+	var recur func()
+	recur = func() { e.Schedule(1, recur) }
+	e.Schedule(0, recur)
+	if err := e.RunAll(100); err == nil {
+		t.Fatal("RunAll should report exceeding the event budget")
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+// Ticker invokes a callback periodically until stopped. The first tick
+// fires after an initial delay (use 0 for an immediate tick, or a random
+// phase to desynchronize nodes).
+type Ticker struct {
+	engine   *Engine
+	interval float64
+	fn       func()
+	event    *Event
+	stopped  bool
+}
+
+// NewTicker schedules fn every interval seconds, starting after phase
+// seconds. Stop the ticker to release it.
+func NewTicker(e *Engine, phase, interval float64, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{engine: e, interval: interval, fn: fn}
+	t.event = e.Schedule(phase, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped us
+		t.event = t.engine.Schedule(t.interval, t.tick)
+	}
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.event != nil {
+		t.event.Cancel()
+	}
+}
+
+// Timer is a single-shot resettable timeout.
+type Timer struct {
+	engine *Engine
+	fn     func()
+	event  *Event
+}
+
+// NewTimer creates an unarmed timer that will invoke fn when it expires.
+func NewTimer(e *Engine, fn func()) *Timer {
+	return &Timer{engine: e, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after delay seconds, cancelling any
+// earlier deadline.
+func (t *Timer) Reset(delay float64) {
+	t.Cancel()
+	t.event = t.engine.Schedule(delay, t.fire)
+}
+
+func (t *Timer) fire() {
+	t.event = nil
+	t.fn()
+}
+
+// Cancel disarms the timer if armed.
+func (t *Timer) Cancel() {
+	if t.event != nil {
+		t.event.Cancel()
+		t.event = nil
+	}
+}
+
+// Armed reports whether the timer has a pending deadline.
+func (t *Timer) Armed() bool { return t.event != nil && !t.event.Cancelled() }

@@ -1,0 +1,260 @@
+// Package probquorum is a library implementation of probabilistic quorum
+// systems for wireless ad hoc networks, after Friedman, Kliot and Avin,
+// "Probabilistic Quorum Systems in Wireless Ad Hoc Networks" (DSN 2008 /
+// ACM TOCS 2010).
+//
+// The library bundles a deterministic discrete-event wireless simulator
+// (SINR radio, 802.11-style MAC, AODV routing, random-waypoint mobility)
+// with the paper's probabilistic biquorum protocols: RANDOM, RANDOM-OPT,
+// PATH, UNIQUE-PATH and FLOODING access strategies, asymmetric
+// mix-and-match combinations, quorum sizing per Corollary 5.3 and
+// Lemma 5.6, and the engineering techniques of Sections 6–7 (random-walk
+// salvation, reply-path reduction and local repair, early halting,
+// caching).
+//
+// # Quick start
+//
+//	c := probquorum.NewCluster(probquorum.ClusterConfig{Nodes: 100, Seed: 1})
+//	c.Advertise(3, "printer", "room-217", nil)
+//	c.RunFor(5)
+//	c.Lookup(42, "printer", func(r probquorum.LookupResult) {
+//		fmt.Println("found:", r.Value)
+//	})
+//	c.RunFor(30)
+//
+// See examples/ for runnable programs and cmd/pqexp for the experiment
+// harness that regenerates the paper's figures.
+package probquorum
+
+import (
+	"probquorum/internal/aodv"
+	"probquorum/internal/experiment"
+	"probquorum/internal/geom"
+	"probquorum/internal/membership"
+	"probquorum/internal/mobility"
+	"probquorum/internal/netstack"
+	"probquorum/internal/quorum"
+	"probquorum/internal/sim"
+)
+
+// Re-exported quorum types. See the quorum package docs on each.
+type (
+	// Strategy names a quorum access strategy.
+	Strategy = quorum.Strategy
+	// Config selects the strategy mix and engineering options.
+	Config = quorum.Config
+	// LookupResult reports a lookup's outcome.
+	LookupResult = quorum.LookupResult
+	// AdvertiseResult reports an advertise's outcome.
+	AdvertiseResult = quorum.AdvertiseResult
+	// Counters aggregates protocol diagnostics.
+	Counters = quorum.Counters
+	// Store is a node's local slice of the dictionary.
+	Store = quorum.Store
+	// OpRef is an opaque operation handle.
+	OpRef = quorum.OpRef
+)
+
+// Access strategies (Section 4 of the paper, plus the expanding-ring and
+// direct-sampling variants it describes).
+const (
+	Random         = quorum.Random
+	RandomOpt      = quorum.RandomOpt
+	Path           = quorum.Path
+	UniquePath     = quorum.UniquePath
+	Flooding       = quorum.Flooding
+	ExpandingRing  = quorum.ExpandingRing
+	RandomSampling = quorum.RandomSampling
+)
+
+// Link-layer fidelities.
+const (
+	// StackSINR is the paper-faithful cumulative-noise radio with an
+	// 802.11-style MAC.
+	StackSINR = netstack.StackSINR
+	// StackDisk is the protocol (unit-disk) reception model.
+	StackDisk = netstack.StackDisk
+	// StackIdeal is a fast contention-free link layer.
+	StackIdeal = netstack.StackIdeal
+)
+
+// StackKind selects the link-layer fidelity.
+type StackKind = netstack.StackKind
+
+// Experiment harness re-exports; see internal/experiment.
+type (
+	// Scenario describes one simulation run of the paper's workload.
+	Scenario = experiment.Scenario
+	// Result is a scenario's measurements.
+	Result = experiment.Result
+	// Profile scales the figure experiments.
+	Profile = experiment.Profile
+)
+
+// RunScenario executes one scenario (see Scenario for the knobs).
+func RunScenario(sc Scenario) Result { return experiment.Run(sc) }
+
+// RunScenarioSeeds averages a scenario over consecutive seeds.
+func RunScenarioSeeds(sc Scenario, seeds int) Result { return experiment.RunSeeds(sc, seeds) }
+
+// Sizing helpers (Corollary 5.3 and Lemma 5.6).
+var (
+	// SizeForEpsilon returns |Qa|, |Qℓ| with |Qa|·|Qℓ| ≥ n·ln(1/ε).
+	SizeForEpsilon = quorum.SizeForEpsilon
+	// NonIntersectProb is the mix-and-match miss bound exp(−qa·qℓ/n).
+	NonIntersectProb = quorum.NonIntersectProb
+	// OptimalSizeRatio is Lemma 5.6's cost-minimizing |Qℓ|/|Qa|.
+	OptimalSizeRatio = quorum.OptimalSizeRatio
+	// OptimalSizes combines sizing with the optimal ratio.
+	OptimalSizes = quorum.OptimalSizes
+	// DefaultQuorumConfig is the paper's favoured RANDOM × UNIQUE-PATH
+	// mix with default sizes for an n-node network.
+	DefaultQuorumConfig = quorum.DefaultConfig
+)
+
+// ClusterConfig configures a simulated ad hoc network with a quorum system
+// on every node.
+type ClusterConfig struct {
+	// Nodes is the network size (required).
+	Nodes int
+	// AvgDegree is the target density (default 10, the paper's default).
+	AvgDegree float64
+	// Stack selects fidelity (default StackIdeal for library users; use
+	// StackSINR for paper-faithful radio behaviour).
+	Stack StackKind
+	// MaxSpeed enables random-waypoint mobility between 0.5 m/s and
+	// MaxSpeed with 30 s pauses; zero keeps the network static.
+	MaxSpeed float64
+	// Quorum overrides the quorum configuration; zero value uses
+	// DefaultQuorumConfig(Nodes).
+	Quorum Config
+	// Seed drives all randomness (default 1).
+	Seed int64
+}
+
+// Cluster is a simulated ad hoc network running the quorum system. It wraps
+// the engine, stack, routing, membership and quorum layers behind a small
+// API; advance simulated time with RunFor.
+type Cluster struct {
+	engine  *sim.Engine
+	network *netstack.Network
+	routing *aodv.Routing
+	members *membership.Service
+	system  *quorum.System
+}
+
+// NewCluster builds a cluster and warms it up (neighbor discovery and
+// membership are ready on return).
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("probquorum: ClusterConfig.Nodes must be positive")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Stack == 0 {
+		cfg.Stack = StackIdeal
+	}
+	if cfg.AvgDegree == 0 {
+		cfg.AvgDegree = 10
+	}
+	if cfg.Quorum.AdvertiseStrategy == 0 && cfg.Quorum.LookupStrategy == 0 {
+		cfg.Quorum = quorum.DefaultConfig(cfg.Nodes)
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	side := geom.AreaSide(cfg.Nodes, 200, cfg.AvgDegree)
+	ncfg := netstack.Config{
+		N: cfg.Nodes, AvgDegree: cfg.AvgDegree, Stack: cfg.Stack, Side: side,
+	}
+	if cfg.MaxSpeed > 0 {
+		ncfg.Mobility = mobility.NewWaypoint(engine.NewStream(), cfg.Nodes, mobility.WaypointConfig{
+			MinSpeed: 0.5, MaxSpeed: cfg.MaxSpeed, Pause: 30, Side: side,
+		}, nil)
+	}
+	network := netstack.New(engine, ncfg)
+	routing := aodv.New(network, aodv.Config{})
+	members := membership.New(network, membership.Config{})
+	system := quorum.New(network, routing, members, cfg.Quorum)
+	c := &Cluster{
+		engine: engine, network: network, routing: routing,
+		members: members, system: system,
+	}
+	c.RunFor(25) // neighbor discovery warm-up
+	return c
+}
+
+// RunFor advances simulated time by d seconds.
+func (c *Cluster) RunFor(d float64) { c.engine.Run(c.engine.Now() + d) }
+
+// Now returns the current simulated time in seconds.
+func (c *Cluster) Now() float64 { return c.engine.Now() }
+
+// N returns the node count.
+func (c *Cluster) N() int { return c.network.N() }
+
+// Advertise publishes key→value from node origin to an advertise quorum.
+// Advance time with RunFor for the operation to complete.
+func (c *Cluster) Advertise(origin int, key, value string, done func(AdvertiseResult)) OpRef {
+	return c.system.Advertise(origin, key, value, done)
+}
+
+// Lookup searches for key from node origin. done fires with the result
+// (possibly a timeout miss) as simulated time advances.
+func (c *Cluster) Lookup(origin int, key string, done func(LookupResult)) OpRef {
+	return c.system.Lookup(origin, key, done)
+}
+
+// LookupWait is a convenience that issues a lookup and advances time until
+// it completes.
+func (c *Cluster) LookupWait(origin int, key string) LookupResult {
+	var res LookupResult
+	finished := false
+	c.system.Lookup(origin, key, func(r LookupResult) { res = r; finished = true })
+	for !finished {
+		c.RunFor(1)
+	}
+	return res
+}
+
+// AdvertiseWait issues an advertise and advances time until it completes.
+func (c *Cluster) AdvertiseWait(origin int, key, value string) AdvertiseResult {
+	var res AdvertiseResult
+	finished := false
+	c.system.Advertise(origin, key, value, func(r AdvertiseResult) { res = r; finished = true })
+	for !finished {
+		c.RunFor(1)
+	}
+	return res
+}
+
+// Fail crashes a node (it stops sending, receiving and interfering).
+func (c *Cluster) Fail(id int) { c.network.Fail(id) }
+
+// Revive rejoins a failed node.
+func (c *Cluster) Revive(id int) { c.network.Revive(id) }
+
+// NumAlive returns the number of live nodes.
+func (c *Cluster) NumAlive() int { return c.network.NumAlive() }
+
+// Alive reports whether node id is currently up.
+func (c *Cluster) Alive(id int) bool { return c.network.Alive(id) }
+
+// Store returns node id's local dictionary slice.
+func (c *Cluster) Store(id int) *Store { return c.system.Store(id) }
+
+// Counters returns protocol diagnostics.
+func (c *Cluster) Counters() Counters { return c.system.Counters() }
+
+// Messages returns the cumulative application-message count (network-layer
+// transmissions of quorum traffic).
+func (c *Cluster) Messages() int64 {
+	return c.network.Stats().Get(netstack.CtrAppMsgs)
+}
+
+// RoutingMessages returns the cumulative AODV control-message count.
+func (c *Cluster) RoutingMessages() int64 {
+	return c.network.Stats().Get(netstack.CtrRoutingMsgs)
+}
+
+// SetLookupSize adjusts |Qℓ| at runtime (Section 6.1 adaptation).
+func (c *Cluster) SetLookupSize(k int) { c.system.SetLookupSize(k) }
