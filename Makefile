@@ -1,0 +1,29 @@
+# Development targets. The repo is stdlib-only Go; everything here wraps
+# the standard toolchain.
+
+GO ?= go
+
+.PHONY: build test check bench quick
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: vet plus the short test set under the race
+# detector. The race run is what enforces the per-engine isolation
+# invariant (sim.TestEnginesIsolated and the parallel-vs-serial sweep
+# determinism tests in internal/experiment run concurrent full stacks).
+check: build
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# bench surfaces the parallel sweep executor's scaling on this machine.
+bench:
+	$(GO) test -bench=BenchmarkParallelSweep -benchtime=1x -run='^$$' .
+
+# quick regenerates the recorded quick-profile results (with per-figure
+# wall clock and effective parallelism).
+quick:
+	$(GO) run ./cmd/pqexp all > results_quick.txt

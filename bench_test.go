@@ -9,8 +9,10 @@
 package probquorum
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"probquorum/internal/experiment"
@@ -342,4 +344,37 @@ func benchRoutingCost(b *testing.B, oracle bool) {
 	b.ReportMetric(last.AdvertiseAppMsgs, "adv-msgs/op")
 	b.ReportMetric(last.AdvertiseRoutingMsgs, "adv-routing/op")
 	b.ReportMetric(last.HitRatio, "hit-ratio")
+}
+
+// BenchmarkParallelSweep measures the worker-pool sweep executor against
+// the serial baseline on a fixed 16-run ensemble. Compare the parallel=N
+// sub-benchmarks' ns/op to parallel=1: on an N-core machine the runs are
+// independent full-stack simulations, so the speedup should be near
+// linear until the pool exceeds the core count.
+func BenchmarkParallelSweep(b *testing.B) {
+	p := benchProfile()
+	var scs []experiment.Scenario
+	for _, n := range []int{50, 80, 100, 120} {
+		sc := experiment.Scenario{
+			N: n, Stack: p.Stack, Seed: 1,
+			Advertisements: p.Advertisements, Lookups: p.Lookups, LookupNodes: p.LookupNodes,
+		}
+		sc.Quorum = quorum.DefaultConfig(n)
+		scs = append(scs, sc)
+	}
+	sw := experiment.NewSweep(scs, 4) // 4 points × 4 seeds = 16 runs
+	pools := []int{1, 2, 4}
+	if ncpu := runtime.NumCPU(); ncpu != 1 && ncpu != 2 && ncpu != 4 {
+		pools = append(pools, ncpu)
+	}
+	for _, workers := range pools {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunSweep(context.Background(), sw, workers)
+				if err != nil || len(res) != len(scs) {
+					b.Fatalf("sweep: %d results, err=%v", len(res), err)
+				}
+			}
+		})
+	}
 }

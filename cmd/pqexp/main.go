@@ -11,13 +11,21 @@
 // By default it runs the quick profile (ideal link layer, scaled-down
 // sweep). Pass -full for the paper-scale configuration on the SINR stack
 // (slow: hours), or tune -stack/-seeds/-bign individually.
+//
+// Simulation-backed figures fan their independent (point, seed) runs out
+// on a worker pool; -parallel sizes it (default: all cores). Results are
+// bit-for-bit identical at any parallelism. Each figure prints its wall
+// clock and the effective parallelism so recorded results surface perf
+// regressions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"probquorum/internal/experiment"
 	"probquorum/internal/netstack"
@@ -37,6 +45,7 @@ func run(args []string) error {
 	seeds := fs.Int("seeds", 0, "override seeds per data point")
 	bigN := fs.Int("bign", 0, "override the large-network size")
 	seed := fs.Int64("seed", 1, "base random seed")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "sweep worker-pool size (independent runs in flight at once)")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +75,11 @@ func run(args []string) error {
 	if *bigN > 0 {
 		p.BigN = *bigN
 	}
+	p.Parallel = *parallel
+	effective := p.Parallel
+	if effective < 1 {
+		effective = runtime.GOMAXPROCS(0)
+	}
 
 	figs := fs.Args()
 	if len(figs) == 1 && figs[0] == "all" {
@@ -73,6 +87,7 @@ func run(args []string) error {
 			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tau", "fig4series", "crt"}
 	}
 	for _, f := range figs {
+		start := time.Now()
 		tables, err := runFigure(f, p, *seed)
 		if err != nil {
 			return err
@@ -80,6 +95,9 @@ func run(args []string) error {
 		for _, t := range tables {
 			fmt.Println(t)
 		}
+		// Wall-clock per figure, on stdout so recorded results files (e.g.
+		// results_quick.txt) surface perf regressions alongside the data.
+		fmt.Printf("# %s: %.2fs wall clock, parallel=%d\n\n", f, time.Since(start).Seconds(), effective)
 		if *csvDir != "" {
 			paths, err := experiment.WriteCSVFiles(*csvDir, tables)
 			if err != nil {

@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -128,6 +129,9 @@ type Result struct {
 	AvgPlaced float64
 	// AvgLatency is the mean hit latency in seconds.
 	AvgLatency float64
+	// AvgHopLatency is the mean per-transmission MAC latency over the
+	// whole run (netstack's LatHop accumulator).
+	AvgHopLatency float64
 	// Counters are the quorum protocol diagnostics.
 	Counters quorum.Counters
 	// Runs is how many seeds were averaged.
@@ -263,11 +267,12 @@ func Run(sc Scenario) Result {
 	lkDiff := net.Stats().DiffSince(lkStart)
 
 	res := Result{Runs: 1, Counters: sys.Counters()}
+	res.AvgHopLatency = net.Stats().Latency(netstack.LatHop).Mean()
 	if sc.Lookups > 0 {
 		res.HitRatio = float64(hits) / float64(sc.Lookups)
 		res.IntersectRatio = float64(intersects) / float64(sc.Lookups)
-		res.LookupAppMsgs = float64(lkDiff[netstack.CtrAppMsgs]) / float64(sc.Lookups)
-		res.LookupRoutingMsgs = float64(lkDiff[netstack.CtrRoutingMsgs]) / float64(sc.Lookups)
+		res.LookupAppMsgs = float64(lkDiff.Get(netstack.CtrAppMsgs)) / float64(sc.Lookups)
+		res.LookupRoutingMsgs = float64(lkDiff.Get(netstack.CtrRoutingMsgs)) / float64(sc.Lookups)
 	}
 	if intersects > 0 {
 		res.ReplyDropRatio = float64(intersects-hits) / float64(intersects)
@@ -276,54 +281,19 @@ func Run(sc Scenario) Result {
 		res.AvgLatency = latencySum / float64(hits)
 	}
 	if sc.Advertisements > 0 {
-		res.AdvertiseAppMsgs = float64(adDiff[netstack.CtrAppMsgs]) / float64(sc.Advertisements)
-		res.AdvertiseRoutingMsgs = float64(adDiff[netstack.CtrRoutingMsgs]) / float64(sc.Advertisements)
+		res.AdvertiseAppMsgs = float64(adDiff.Get(netstack.CtrAppMsgs)) / float64(sc.Advertisements)
+		res.AdvertiseRoutingMsgs = float64(adDiff.Get(netstack.CtrRoutingMsgs)) / float64(sc.Advertisements)
 		res.AvgPlaced = float64(placedSum) / float64(sc.Advertisements)
 	}
 	return res
 }
 
 // RunSeeds averages the scenario over `seeds` runs with seeds base,
-// base+1, … (the paper averages 10 runs per data point).
+// base+1, … (the paper averages 10 runs per data point). It is the
+// single-point, single-worker form of RunSweep.
 func RunSeeds(sc Scenario, seeds int) Result {
-	if seeds < 1 {
-		seeds = 1
-	}
-	var agg Result
-	for s := 0; s < seeds; s++ {
-		r := sc
-		r.Seed = sc.Seed + int64(s)
-		one := Run(r)
-		agg.HitRatio += one.HitRatio
-		agg.IntersectRatio += one.IntersectRatio
-		agg.ReplyDropRatio += one.ReplyDropRatio
-		agg.AdvertiseAppMsgs += one.AdvertiseAppMsgs
-		agg.AdvertiseRoutingMsgs += one.AdvertiseRoutingMsgs
-		agg.LookupAppMsgs += one.LookupAppMsgs
-		agg.LookupRoutingMsgs += one.LookupRoutingMsgs
-		agg.AvgPlaced += one.AvgPlaced
-		agg.AvgLatency += one.AvgLatency
-		agg.Counters.Salvations += one.Counters.Salvations
-		agg.Counters.WalkDrops += one.Counters.WalkDrops
-		agg.Counters.ReplyDrops += one.Counters.ReplyDrops
-		agg.Counters.LocalRepairs += one.Counters.LocalRepairs
-		agg.Counters.FullRouteRepairs += one.Counters.FullRouteRepairs
-		agg.Counters.PathReductions += one.Counters.PathReductions
-		agg.Counters.Adaptations += one.Counters.Adaptations
-		agg.Counters.CacheHits += one.Counters.CacheHits
-	}
-	f := float64(seeds)
-	agg.HitRatio /= f
-	agg.IntersectRatio /= f
-	agg.ReplyDropRatio /= f
-	agg.AdvertiseAppMsgs /= f
-	agg.AdvertiseRoutingMsgs /= f
-	agg.LookupAppMsgs /= f
-	agg.LookupRoutingMsgs /= f
-	agg.AvgPlaced /= f
-	agg.AvgLatency /= f
-	agg.Runs = seeds
-	return agg
+	res, _ := RunSweep(context.Background(), Sweep{Points: []Point{{Scenario: sc, Seeds: seeds}}}, 1)
+	return res[0]
 }
 
 // pickDistinct draws k distinct live ids among 0..limit-1.

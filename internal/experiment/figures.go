@@ -41,6 +41,9 @@ type Profile struct {
 	BigN int
 	// WalkTrials is the number of walks per PCT data point.
 	WalkTrials int
+	// Parallel is the worker-pool size used by RunSweep for the
+	// simulation-backed figures; 0 means runtime.GOMAXPROCS(0).
+	Parallel int
 }
 
 // Quick returns a laptop-scale profile on the ideal stack.

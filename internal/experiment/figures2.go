@@ -21,34 +21,31 @@ func mixConfig(n int, adv, lk quorum.Strategy) quorum.Config {
 	}
 }
 
+// The figure generators below all follow the same shape: enumerate the
+// figure's sweep points as Scenario values (plus whatever per-point
+// metadata the table needs), execute them all with one RunSweep over the
+// profile's worker pool, and format the averaged results in point order.
+
 // Fig8 measures the cost of RANDOM advertise (a,b) and the hit ratio of
 // RANDOM lookup (c) on static networks at d_avg = 10.
 func Fig8(p Profile, seed int64) []Table {
-	factors := []float64{0.5, 1.0, 1.5, 2.0, 2.5}
-
-	var costRows [][]string
+	type meta struct {
+		n, q int
+		f    float64
+	}
+	var scs []Scenario
+	var costMeta, hitMeta []meta
 	for _, n := range p.Sizes {
-		for _, f := range factors {
+		for _, f := range []float64{0.5, 1.0, 1.5, 2.0, 2.5} {
 			qa := int(math.Round(f * sqrtN(n)))
 			sc := baseScenario(p, n, seed)
 			sc.Lookups, sc.LookupNodes = 1, 1 // advertise-phase study
 			sc.Quorum = mixConfig(n, quorum.Random, quorum.Random)
 			sc.Quorum.AdvertiseSize = qa
-			r := RunSeeds(sc, p.Seeds)
-			costRows = append(costRows, []string{
-				istr(n), fmt.Sprintf("%.1f√n=%d", f, qa),
-				f1(r.AdvertiseAppMsgs), f1(r.AdvertiseRoutingMsgs),
-				f1(r.AdvertiseAppMsgs + r.AdvertiseRoutingMsgs),
-			})
+			costMeta = append(costMeta, meta{n, qa, f})
+			scs = append(scs, sc)
 		}
 	}
-	cost := Table{
-		Title:  "Fig. 8(a,b) — RANDOM advertise cost per request (static, d_avg=10)",
-		Header: []string{"n", "|Qa|", "msgs", "+routing", "total"},
-		Rows:   costRows,
-	}
-
-	var hitRows [][]string
 	for _, n := range p.Sizes {
 		for _, f := range []float64{0.5, 0.75, 1.0, 1.15, 1.5, 2.0} {
 			ql := int(math.Round(f * sqrtN(n)))
@@ -58,12 +55,35 @@ func Fig8(p Profile, seed int64) []Table {
 			sc := baseScenario(p, n, seed+7)
 			sc.Quorum = mixConfig(n, quorum.Random, quorum.Random)
 			sc.Quorum.LookupSize = ql
-			r := RunSeeds(sc, p.Seeds)
-			hitRows = append(hitRows, []string{
-				istr(n), fmt.Sprintf("%.2f√n=%d", f, ql),
-				f2(r.HitRatio), f2(1 - analysis.MissBound(n, float64(sc.Quorum.AdvertiseSize), float64(ql))),
-			})
+			hitMeta = append(hitMeta, meta{n, ql, f})
+			scs = append(scs, sc)
 		}
+	}
+	results := sweepResults(p, scs)
+
+	var costRows [][]string
+	for i, m := range costMeta {
+		r := results[i]
+		costRows = append(costRows, []string{
+			istr(m.n), fmt.Sprintf("%.1f√n=%d", m.f, m.q),
+			f1(r.AdvertiseAppMsgs), f1(r.AdvertiseRoutingMsgs),
+			f1(r.AdvertiseAppMsgs + r.AdvertiseRoutingMsgs),
+		})
+	}
+	cost := Table{
+		Title:  "Fig. 8(a,b) — RANDOM advertise cost per request (static, d_avg=10)",
+		Header: []string{"n", "|Qa|", "msgs", "+routing", "total"},
+		Rows:   costRows,
+	}
+
+	var hitRows [][]string
+	for i, m := range hitMeta {
+		r := results[len(costMeta)+i]
+		qa := scs[len(costMeta)+i].Quorum.AdvertiseSize
+		hitRows = append(hitRows, []string{
+			istr(m.n), fmt.Sprintf("%.2f√n=%d", m.f, m.q),
+			f2(r.HitRatio), f2(1 - analysis.MissBound(m.n, float64(qa), float64(m.q))),
+		})
 	}
 	hit := Table{
 		Title:  "Fig. 8(c) — RANDOM lookup hit ratio vs |Qℓ| (advertise 2√n)",
@@ -78,23 +98,35 @@ func Fig8(p Profile, seed int64) []Table {
 func Fig9(p Profile, seed int64) []Table {
 	n := p.BigN
 	lnN := int(math.Ceil(math.Log(float64(n))))
-	targets := []int{1, 2, lnN / 2, lnN, 2 * lnN}
-	var tables []Table
-	for _, mobile := range []bool{false, true} {
-		label := "static"
-		var rows [][]string
+	var targets []int
+	for _, x := range []int{1, 2, lnN / 2, lnN, 2 * lnN} {
+		if x >= 1 {
+			targets = append(targets, x)
+		}
+	}
+	modes := []bool{false, true}
+	var scs []Scenario
+	for _, mobile := range modes {
 		for _, x := range targets {
-			if x < 1 {
-				continue
-			}
 			sc := baseScenario(p, n, seed+11)
 			if mobile {
-				label = "mobile 0.5–2 m/s"
 				sc.SpeedMin, sc.SpeedMax = 0.5, 2
 			}
 			sc.Quorum = mixConfig(n, quorum.Random, quorum.RandomOpt)
 			sc.Quorum.RandomOptTargets = x
-			r := RunSeeds(sc, p.Seeds)
+			scs = append(scs, sc)
+		}
+	}
+	results := sweepResults(p, scs)
+	var tables []Table
+	for mi, mobile := range modes {
+		label := "static"
+		if mobile {
+			label = "mobile 0.5–2 m/s"
+		}
+		var rows [][]string
+		for xi, x := range targets {
+			r := results[mi*len(targets)+xi]
 			rows = append(rows, []string{
 				istr(x), f2(r.HitRatio), f1(r.LookupAppMsgs), f1(r.LookupRoutingMsgs),
 			})
@@ -111,7 +143,12 @@ func Fig9(p Profile, seed int64) []Table {
 // Fig10 measures the UNIQUE-PATH lookup under walking-speed mobility: hit
 // ratio 0.9 at |Qℓ| ≈ 1.15√n and message cost below |Qℓ|.
 func Fig10(p Profile, seed int64) []Table {
-	var rows [][]string
+	type meta struct {
+		n, ql int
+		f     float64
+	}
+	var scs []Scenario
+	var metas []meta
 	for _, n := range p.Sizes {
 		for _, f := range []float64{0.5, 0.75, 1.0, 1.15, 1.5, 2.0} {
 			ql := int(math.Round(f * sqrtN(n)))
@@ -122,13 +159,19 @@ func Fig10(p Profile, seed int64) []Table {
 			sc.SpeedMin, sc.SpeedMax = 0.5, 2
 			sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
 			sc.Quorum.LookupSize = ql
-			r := RunSeeds(sc, p.Seeds)
-			rows = append(rows, []string{
-				istr(n), fmt.Sprintf("%.2f√n=%d", f, ql),
-				f2(r.HitRatio), f1(r.LookupAppMsgs),
-				fmt.Sprint(r.LookupAppMsgs < float64(ql)+1),
-			})
+			metas = append(metas, meta{n, ql, f})
+			scs = append(scs, sc)
 		}
+	}
+	results := sweepResults(p, scs)
+	var rows [][]string
+	for i, m := range metas {
+		r := results[i]
+		rows = append(rows, []string{
+			istr(m.n), fmt.Sprintf("%.2f√n=%d", m.f, m.ql),
+			f2(r.HitRatio), f1(r.LookupAppMsgs),
+			fmt.Sprint(r.LookupAppMsgs < float64(m.ql)+1),
+		})
 	}
 	return []Table{{
 		Title:  "Fig. 10 — RANDOM advertise × UNIQUE-PATH lookup (mobile 0.5–2 m/s)",
@@ -139,20 +182,35 @@ func Fig10(p Profile, seed int64) []Table {
 
 // Fig11 measures the FLOODING lookup vs TTL, static and mobile.
 func Fig11(p Profile, seed int64) []Table {
-	var tables []Table
-	for _, mobile := range []bool{false, true} {
-		label := "static"
-		var rows [][]string
+	ttls := []int{1, 2, 3, 4}
+	modes := []bool{false, true}
+	var scs []Scenario
+	for _, mobile := range modes {
 		for _, n := range p.Sizes {
-			for _, ttl := range []int{1, 2, 3, 4} {
+			for _, ttl := range ttls {
 				sc := baseScenario(p, n, seed+17)
 				if mobile {
-					label = "mobile 0.5–2 m/s"
 					sc.SpeedMin, sc.SpeedMax = 0.5, 2
 				}
 				sc.Quorum = mixConfig(n, quorum.Random, quorum.Flooding)
 				sc.Quorum.LookupTTL = ttl
-				r := RunSeeds(sc, p.Seeds)
+				scs = append(scs, sc)
+			}
+		}
+	}
+	results := sweepResults(p, scs)
+	var tables []Table
+	i := 0
+	for _, mobile := range modes {
+		label := "static"
+		if mobile {
+			label = "mobile 0.5–2 m/s"
+		}
+		var rows [][]string
+		for _, n := range p.Sizes {
+			for _, ttl := range ttls {
+				r := results[i]
+				i++
 				rows = append(rows, []string{
 					istr(n), istr(ttl), f2(r.HitRatio), f1(r.LookupAppMsgs),
 				})
@@ -171,7 +229,8 @@ func Fig11(p Profile, seed int64) []Table {
 // the combined walk coverage (paper: 0.9 needs ≈ n/2 combined at n=800).
 func Fig12(p Profile, seed int64) []Table {
 	n := p.BigN
-	var rows [][]string
+	var scs []Scenario
+	var qs []int
 	for _, frac := range []float64{0.06, 0.1, 0.15, 0.21, 0.25, 0.3} {
 		q := int(frac * float64(n))
 		if q < 2 {
@@ -181,7 +240,13 @@ func Fig12(p Profile, seed int64) []Table {
 		sc.Quorum = mixConfig(n, quorum.UniquePath, quorum.UniquePath)
 		sc.Quorum.AdvertiseSize = q
 		sc.Quorum.LookupSize = q
-		r := RunSeeds(sc, p.Seeds)
+		qs = append(qs, q)
+		scs = append(scs, sc)
+	}
+	results := sweepResults(p, scs)
+	var rows [][]string
+	for i, q := range qs {
+		r := results[i]
 		rows = append(rows, []string{
 			istr(q), istr(2 * q), fmt.Sprintf("%.3f", float64(2*q)/float64(n)),
 			f2(r.HitRatio), f1(r.LookupAppMsgs),
@@ -215,14 +280,20 @@ func figSpeeds(p Profile) []float64 {
 // the gap is reply loss.
 func Fig13(p Profile, seed int64) []Table {
 	n := p.BigN
-	var rows [][]string
-	for _, speed := range figSpeeds(p) {
+	speeds := figSpeeds(p)
+	var scs []Scenario
+	for _, speed := range speeds {
 		sc := baseScenario(p, n, seed+23)
 		sc.SpeedMin, sc.SpeedMax = 0.5, speed
 		sc.IdealHopDelay = mobilityHopDelay
 		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
 		sc.Quorum.ReplyLocalRepair = false
-		r := RunSeeds(sc, p.Seeds)
+		scs = append(scs, sc)
+	}
+	results := sweepResults(p, scs)
+	var rows [][]string
+	for i, speed := range speeds {
+		r := results[i]
 		rows = append(rows, []string{
 			f1(speed), f2(r.HitRatio), f2(r.IntersectRatio), f2(r.ReplyDropRatio),
 		})
@@ -238,14 +309,30 @@ func Fig13(p Profile, seed int64) []Table {
 // larger advertise quorum variant (e), and churn resilience (f).
 func Fig14(p Profile, seed int64) []Table {
 	n := p.BigN
-	var rows [][]string
-	for _, speed := range figSpeeds(p) {
+	speeds := figSpeeds(p)
+	var scs []Scenario
+	for _, speed := range speeds { // (a–d): repair on
 		sc := baseScenario(p, n, seed+29)
 		sc.SpeedMin, sc.SpeedMax = 0.5, speed
 		sc.IdealHopDelay = mobilityHopDelay
 		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
 		sc.Quorum.ReplyLocalRepair = true
-		r := RunSeeds(sc, p.Seeds)
+		scs = append(scs, sc)
+	}
+	for _, speed := range speeds { // (e): |Qa| = 3√n
+		sc := baseScenario(p, n, seed+31)
+		sc.SpeedMin, sc.SpeedMax = 0.5, speed
+		sc.IdealHopDelay = mobilityHopDelay
+		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
+		sc.Quorum.ReplyLocalRepair = true
+		sc.Quorum.AdvertiseSize = int(math.Round(3 * sqrtN(n)))
+		scs = append(scs, sc)
+	}
+	results := sweepResults(p, scs)
+
+	var rows [][]string
+	for i, speed := range speeds {
+		r := results[i]
 		rows = append(rows, []string{
 			f1(speed), f2(r.HitRatio), f2(r.IntersectRatio),
 			f1(r.LookupAppMsgs), f1(r.LookupAppMsgs + r.LookupRoutingMsgs),
@@ -259,14 +346,8 @@ func Fig14(p Profile, seed int64) []Table {
 	}
 
 	var bigQRows [][]string
-	for _, speed := range figSpeeds(p) {
-		sc := baseScenario(p, n, seed+31)
-		sc.SpeedMin, sc.SpeedMax = 0.5, speed
-		sc.IdealHopDelay = mobilityHopDelay
-		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
-		sc.Quorum.ReplyLocalRepair = true
-		sc.Quorum.AdvertiseSize = int(math.Round(3 * sqrtN(n)))
-		r := RunSeeds(sc, p.Seeds)
+	for i, speed := range speeds {
+		r := results[len(speeds)+i]
 		bigQRows = append(bigQRows, []string{f1(speed), f2(r.HitRatio)})
 	}
 	bigQ := Table{
@@ -283,17 +364,22 @@ func fig14f(p Profile, seed int64) Table {
 	n := p.BigN
 	eps := 0.1
 	qa, ql := quorum.SizeForEpsilon(n, eps, 1)
-	var rows [][]string
-	for _, f := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+	fracs := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	var scs []Scenario
+	for _, f := range fracs {
 		sc := baseScenario(p, n, seed+37)
 		sc.AvgDegree = 15 // the paper's churn setup keeps the net connected
 		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
 		sc.Quorum.AdvertiseSize, sc.Quorum.LookupSize = qa, ql
 		sc.FailFraction, sc.JoinFraction = f, f
 		sc.AdjustLookupSize = true
-		r := RunSeeds(sc, p.Seeds)
+		scs = append(scs, sc)
+	}
+	results := sweepResults(p, scs)
+	var rows [][]string
+	for i, f := range fracs {
 		rows = append(rows, []string{
-			f2(f), f2(r.HitRatio), f2(analysis.DegradationChurn(eps, f)),
+			f2(f), f2(results[i].HitRatio), f2(analysis.DegradationChurn(eps, f)),
 		})
 	}
 	return Table{
@@ -307,31 +393,39 @@ func fig14f(p Profile, seed int64) Table {
 // plane (RANDOM advertise everywhere).
 func Fig15(p Profile, seed int64) []Table {
 	n := p.BigN
-	var rows [][]string
-	add := func(strategy string, param string, r Result) {
-		rows = append(rows, []string{
-			strategy, param, f2(r.HitRatio), f1(r.LookupAppMsgs), f1(r.LookupRoutingMsgs),
-		})
-	}
+	type meta struct{ strategy, param string }
+	var scs []Scenario
+	var metas []meta
 	for _, f := range []float64{0.5, 1.0, 1.15, 1.5} {
 		ql := int(math.Round(f * sqrtN(n)))
 		sc := baseScenario(p, n, seed+41)
 		sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
 		sc.Quorum.LookupSize = ql
-		add("UNIQUE-PATH", fmt.Sprintf("|Q|=%d", ql), RunSeeds(sc, p.Seeds))
+		metas = append(metas, meta{"UNIQUE-PATH", fmt.Sprintf("|Q|=%d", ql)})
+		scs = append(scs, sc)
 	}
 	for _, ttl := range []int{1, 2, 3, 4} {
 		sc := baseScenario(p, n, seed+43)
 		sc.Quorum = mixConfig(n, quorum.Random, quorum.Flooding)
 		sc.Quorum.LookupTTL = ttl
-		add("FLOODING", fmt.Sprintf("TTL=%d", ttl), RunSeeds(sc, p.Seeds))
+		metas = append(metas, meta{"FLOODING", fmt.Sprintf("TTL=%d", ttl)})
+		scs = append(scs, sc)
 	}
 	lnN := int(math.Ceil(math.Log(float64(n))))
 	for _, x := range []int{1, 2, lnN, 2 * lnN} {
 		sc := baseScenario(p, n, seed+47)
 		sc.Quorum = mixConfig(n, quorum.Random, quorum.RandomOpt)
 		sc.Quorum.RandomOptTargets = x
-		add("RANDOM-OPT", fmt.Sprintf("X=%d", x), RunSeeds(sc, p.Seeds))
+		metas = append(metas, meta{"RANDOM-OPT", fmt.Sprintf("X=%d", x)})
+		scs = append(scs, sc)
+	}
+	results := sweepResults(p, scs)
+	var rows [][]string
+	for i, m := range metas {
+		r := results[i]
+		rows = append(rows, []string{
+			m.strategy, m.param, f2(r.HitRatio), f1(r.LookupAppMsgs), f1(r.LookupRoutingMsgs),
+		})
 	}
 	return []Table{{
 		Title:  fmt.Sprintf("Fig. 15 — lookup strategies: hit ratio vs messages, n=%d, RANDOM advertise 2√n", n),
@@ -359,7 +453,15 @@ func Fig16(p Profile, seed int64) []Table {
 			c.AdvertiseSize, c.LookupSize = q, q
 		}},
 	}
-	var rows [][]string
+	// Each (mix, net) cell needs two runs: the main measurement and the
+	// paper's "cost of a lookup miss" variant (same mix, absent keys,
+	// single seed). Both become points of one sweep.
+	type meta struct {
+		name  string
+		label string
+	}
+	var pts []Point
+	var metas []meta
 	for _, m := range mixes {
 		for _, mobile := range []bool{false, true} {
 			sc := baseScenario(p, n, seed+53)
@@ -372,19 +474,23 @@ func Fig16(p Profile, seed int64) []Table {
 			if m.sizeTune != nil {
 				m.sizeTune(&sc.Quorum)
 			}
-			r := RunSeeds(sc, p.Seeds)
-			// The paper's "cost of a lookup miss": same mix, absent keys.
 			missSc := sc
 			missSc.LookupAbsentKeys = true
 			missSc.Lookups = p.Lookups / 2
-			miss := RunSeeds(missSc, 1)
-			rows = append(rows, []string{
-				m.name, label,
-				f1(r.AdvertiseAppMsgs), f1(r.AdvertiseRoutingMsgs),
-				f1(r.LookupAppMsgs), f1(miss.LookupAppMsgs), f1(r.LookupRoutingMsgs),
-				f2(r.HitRatio),
-			})
+			metas = append(metas, meta{m.name, label})
+			pts = append(pts, Point{Scenario: sc, Seeds: p.Seeds}, Point{Scenario: missSc, Seeds: 1})
 		}
+	}
+	results := sweepPoints(p, pts)
+	var rows [][]string
+	for i, m := range metas {
+		r, miss := results[2*i], results[2*i+1]
+		rows = append(rows, []string{
+			m.name, m.label,
+			f1(r.AdvertiseAppMsgs), f1(r.AdvertiseRoutingMsgs),
+			f1(r.LookupAppMsgs), f1(miss.LookupAppMsgs), f1(r.LookupRoutingMsgs),
+			f2(r.HitRatio),
+		})
 	}
 	return []Table{{
 		Title:  fmt.Sprintf("Fig. 16 — summary of strategy mixes, n=%d, d_avg=10, target intersection 0.9", n),
@@ -405,9 +511,12 @@ func TauSweep(p Profile, seed int64) []Table {
 	for _, tau := range []float64{2, 10} {
 		ads := 12
 		lookups := int(float64(ads) * tau)
-		var rows [][]string
-		bestCost, bestRatio := math.Inf(1), 0.0
-		var costA, costL float64
+		type meta struct {
+			ratio  float64
+			qa, ql int
+		}
+		var scs []Scenario
+		var metas []meta
 		for _, ratio := range []float64{0.25, 0.5, 1, 2, 4, 8, 16} {
 			qa, ql := quorum.SizeForEpsilon(n, eps, ratio)
 			if qa >= n || ql >= n/2 {
@@ -418,20 +527,29 @@ func TauSweep(p Profile, seed int64) []Table {
 			sc.LookupNodes = 8
 			sc.Quorum = mixConfig(n, quorum.Random, quorum.UniquePath)
 			sc.Quorum.AdvertiseSize, sc.Quorum.LookupSize = qa, ql
-			r := RunSeeds(sc, p.Seeds)
+			metas = append(metas, meta{ratio, qa, ql})
+			scs = append(scs, sc)
+		}
+		results := sweepResults(p, scs)
+
+		var rows [][]string
+		bestCost, bestRatio := math.Inf(1), 0.0
+		var costA, costL float64
+		for i, m := range metas {
+			r := results[i]
 			total := float64(ads)*(r.AdvertiseAppMsgs+r.AdvertiseRoutingMsgs) +
 				float64(lookups)*(r.LookupAppMsgs+r.LookupRoutingMsgs)
 			if total < bestCost {
-				bestCost, bestRatio = total, ratio
+				bestCost, bestRatio = total, m.ratio
 			}
-			if ratio == 1 {
+			if m.ratio == 1 {
 				// Per-node access costs measured at the symmetric point,
 				// feeding Lemma 5.6's prediction.
-				costA = (r.AdvertiseAppMsgs + r.AdvertiseRoutingMsgs) / float64(qa)
-				costL = (r.LookupAppMsgs + r.LookupRoutingMsgs) / float64(ql)
+				costA = (r.AdvertiseAppMsgs + r.AdvertiseRoutingMsgs) / float64(m.qa)
+				costL = (r.LookupAppMsgs + r.LookupRoutingMsgs) / float64(m.ql)
 			}
 			rows = append(rows, []string{
-				fmt.Sprintf("%.3f", ratio), istr(qa), istr(ql),
+				fmt.Sprintf("%.3f", m.ratio), istr(m.qa), istr(m.ql),
 				f1(total), f2(r.HitRatio),
 			})
 		}

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"probquorum/internal/netstack"
+	"probquorum/internal/quorum"
+)
+
+// microSweep is a small two-point sweep used by the executor tests.
+func microSweep() Sweep {
+	mk := func(n int, seed int64) Scenario {
+		return Scenario{
+			N: n, Stack: netstack.StackIdeal, Seed: seed,
+			Advertisements: 6, Lookups: 24, LookupNodes: 4,
+			Quorum: mixConfig(n, quorum.Random, quorum.UniquePath),
+		}
+	}
+	return Sweep{Points: []Point{
+		{Scenario: mk(40, 3), Seeds: 3},
+		{Scenario: mk(60, 9), Seeds: 2},
+	}}
+}
+
+// TestRunSweepDeterminism is the bit-for-bit determinism guard: the same
+// sweep must produce identical Result values at parallel=1 and parallel=8,
+// regardless of run completion order.
+func TestRunSweepDeterminism(t *testing.T) {
+	sw := microSweep()
+	serial, err := RunSweep(context.Background(), sw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSweep(context.Background(), sw, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(sw.Points) || len(parallel) != len(sw.Points) {
+		t.Fatalf("result lengths: serial=%d parallel=%d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("point %d diverged:\nserial:   %+v\nparallel: %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestRunSweepMatchesRunSeeds pins the executor to the legacy serial
+// semantics: one point averaged over k seeds equals RunSeeds.
+func TestRunSweepMatchesRunSeeds(t *testing.T) {
+	sw := microSweep()
+	res, err := RunSweep(context.Background(), sw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range sw.Points {
+		want := RunSeeds(pt.Scenario, pt.Seeds)
+		if res[i] != want {
+			t.Fatalf("point %d: sweep %+v != RunSeeds %+v", i, res[i], want)
+		}
+		if res[i].Runs != pt.Seeds {
+			t.Fatalf("point %d: Runs=%d, want %d", i, res[i].Runs, pt.Seeds)
+		}
+	}
+}
+
+func TestRunSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunSweep(ctx, microSweep(), 2)
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if res != nil {
+		t.Fatalf("cancelled sweep returned results: %v", res)
+	}
+}
+
+// TestForEachJobCancelMidRun cancels the pool from inside a job: already
+// handed-out jobs finish, but no further jobs are dispatched.
+func TestForEachJobCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 100
+	ran := 0
+	err := forEachJob(ctx, n, 1, func(j int) {
+		ran++
+		if j == 2 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("cancelled pool returned no error")
+	}
+	// With one worker the dispatch order is 0,1,2,…: the cancel lands
+	// while job 3 is at most already handed out.
+	if ran < 3 || ran > 4 {
+		t.Fatalf("ran %d jobs after cancel at job 2, want 3 or 4", ran)
+	}
+}
+
+func TestForEachJobRunsAllOnce(t *testing.T) {
+	const n = 57
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	err := forEachJob(context.Background(), n, 8, func(j int) {
+		mu.Lock()
+		seen[j]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("ran %d distinct jobs, want %d", len(seen), n)
+	}
+	for j, c := range seen {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", j, c)
+		}
+	}
+}
+
+// TestForEachJobBoundedWorkers checks the pool never exceeds its size.
+func TestForEachJobBoundedWorkers(t *testing.T) {
+	var active, peak atomic.Int32
+	err := forEachJob(context.Background(), 64, 3, func(int) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		active.Add(-1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size 3", p)
+	}
+}
+
+func TestFillDefaults(t *testing.T) {
+	var sc Scenario
+	sc.fillDefaults()
+	if sc.N != 100 || sc.AvgDegree != 10 || sc.Stack != netstack.StackSINR {
+		t.Fatalf("network defaults: %+v", sc)
+	}
+	if sc.PauseSecs != 30 {
+		t.Fatalf("PauseSecs = %v, want 30", sc.PauseSecs)
+	}
+	if sc.Advertisements != 100 || sc.Lookups != 1000 || sc.LookupNodes != 25 {
+		t.Fatalf("workload defaults: %+v", sc)
+	}
+	if sc.AdvertiseGapSecs != 1.0 || sc.LookupGapSecs != 0.35 {
+		t.Fatalf("pacing defaults: %+v", sc)
+	}
+	// SINR default stack warms up for 60 s.
+	if sc.WarmupSecs != 60 {
+		t.Fatalf("SINR warmup = %v, want 60", sc.WarmupSecs)
+	}
+}
+
+func TestFillDefaultsIdealWarmup(t *testing.T) {
+	sc := Scenario{Stack: netstack.StackIdeal}
+	sc.fillDefaults()
+	if sc.WarmupSecs != 30 {
+		t.Fatalf("ideal warmup = %v, want 30", sc.WarmupSecs)
+	}
+}
+
+func TestFillDefaultsPreservesExplicit(t *testing.T) {
+	sc := Scenario{
+		N: 7, AvgDegree: 3, Stack: netstack.StackDisk,
+		PauseSecs: 5, Advertisements: 1, Lookups: 2, LookupNodes: 3,
+		AdvertiseGapSecs: 0.5, LookupGapSecs: 0.25, WarmupSecs: 12,
+	}
+	got := sc
+	got.fillDefaults()
+	if got.N != sc.N || got.AvgDegree != sc.AvgDegree || got.Stack != sc.Stack ||
+		got.PauseSecs != sc.PauseSecs || got.Advertisements != sc.Advertisements ||
+		got.Lookups != sc.Lookups || got.LookupNodes != sc.LookupNodes ||
+		got.AdvertiseGapSecs != sc.AdvertiseGapSecs || got.LookupGapSecs != sc.LookupGapSecs ||
+		got.WarmupSecs != sc.WarmupSecs {
+		t.Fatalf("fillDefaults overwrote explicit values:\nbefore %+v\nafter  %+v", sc, got)
+	}
+}

@@ -115,16 +115,51 @@ func TestMessageCounting(t *testing.T) {
 
 func TestStatsSnapshotDiff(t *testing.T) {
 	s := NewStats()
-	s.Inc("a", 5)
+	s.Inc(CtrAppMsgs, 5)
+	s.Observe(LatHop, 0.5)
 	snap := s.Snapshot()
-	s.Inc("a", 2)
-	s.Inc("b", 1)
+	s.Inc(CtrAppMsgs, 2)
+	s.Inc(CtrRoutingMsgs, 1)
+	s.Observe(LatHop, 0.1)
+	s.Observe(LatHop, 0.3)
 	d := s.DiffSince(snap)
-	if d["a"] != 2 || d["b"] != 1 {
-		t.Fatalf("diff = %v", d)
+	if d.Get(CtrAppMsgs) != 2 || d.Get(CtrRoutingMsgs) != 1 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if got := d.LatencyMean(LatHop); got < 0.19 || got > 0.21 {
+		t.Fatalf("interval latency mean = %v, want 0.2", got)
+	}
+	if acc := s.Latency(LatHop); acc.Count != 3 || acc.Min != 0.1 || acc.Max != 0.5 {
+		t.Fatalf("accumulator = %+v", acc)
 	}
 	if s.String() == "" {
 		t.Fatal("String() empty")
+	}
+}
+
+func TestStatsSnapshotAllocFree(t *testing.T) {
+	s := NewStats()
+	s.Inc(CtrAppMsgs, 3)
+	s.Observe(LatHop, 0.2)
+	allocs := testing.AllocsPerRun(100, func() {
+		snap := s.Snapshot()
+		_ = s.DiffSince(snap)
+	})
+	if allocs != 0 {
+		t.Fatalf("Snapshot+DiffSince allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestHopLatencyObserved(t *testing.T) {
+	e := sim.NewEngine(1)
+	net := lineNetwork(e, 2, 150, StackIdeal)
+	e.Schedule(0, func() {
+		net.Node(0).SendOneHop(1, &Packet{Proto: ProtoQuorum, Src: 0, Dst: 1, Bytes: 512}, nil)
+	})
+	e.Run(2)
+	acc := net.Stats().Latency(LatHop)
+	if acc.Count != 1 || acc.Mean() <= 0 {
+		t.Fatalf("hop latency not observed: %+v", acc)
 	}
 }
 

@@ -120,7 +120,6 @@ type Network struct {
 	medium    phy.Medium    // nil for the ideal stack
 	ideal     *mac.IdealNet // nil for SINR/disk stacks
 	neighbors NeighborProvider
-	protoCtr  map[ProtocolID]string
 }
 
 // New builds a network of cfg.N nodes on the engine.
@@ -136,11 +135,6 @@ func New(engine *sim.Engine, cfg Config) *Network {
 		nodes:  make([]*Node, cfg.N),
 		alive:  make([]bool, cfg.N),
 		nAlive: cfg.N,
-		protoCtr: map[ProtocolID]string{
-			ProtoBeacon: CtrBeaconMsgs,
-			ProtoAODV:   CtrRoutingMsgs,
-			ProtoQuorum: CtrAppMsgs,
-		},
 	}
 	if cfg.Mobility == nil {
 		net.mob = mobility.NewStaticUniform(engine.NewStream(), cfg.N, cfg.Side)
@@ -283,12 +277,21 @@ func (net *Network) setMediumEnabled(id int, on bool) {
 // owned by the provider and valid until the next call.
 func (net *Network) Neighbors(id int) []int { return net.neighbors.Neighbors(id) }
 
+// counterFor maps a protocol to its counter class. Unknown protocols count
+// as application traffic.
+func counterFor(p ProtocolID) Counter {
+	switch p {
+	case ProtoBeacon:
+		return CtrBeaconMsgs
+	case ProtoAODV:
+		return CtrRoutingMsgs
+	default:
+		return CtrAppMsgs
+	}
+}
+
 // countSend tallies one MAC transmission of pkt under its protocol's
 // counter class.
 func (net *Network) countSend(pkt *Packet) {
-	ctr, ok := net.protoCtr[pkt.Proto]
-	if !ok {
-		ctr = CtrAppMsgs
-	}
-	net.stats.Inc(ctr, 1)
+	net.stats.Inc(counterFor(pkt.Proto), 1)
 }

@@ -26,8 +26,16 @@ type Node struct {
 	id       int
 	mac      mac.MAC
 	protos   map[ProtocolID]Handler
-	cbs      map[*phy.Frame]func(ok bool)
+	cbs      map[*phy.Frame]pendingSend
 	overhear []OverhearFunc
+}
+
+// pendingSend tracks one in-flight MAC frame: the caller's completion
+// callback (may be nil) and the hand-off time for the LatHop accumulator.
+type pendingSend struct {
+	done    func(ok bool)
+	sent    float64
+	unicast bool
 }
 
 func newNode(net *Network, id int, m mac.MAC) *Node {
@@ -36,7 +44,7 @@ func newNode(net *Network, id int, m mac.MAC) *Node {
 		id:     id,
 		mac:    m,
 		protos: make(map[ProtocolID]Handler),
-		cbs:    make(map[*phy.Frame]func(bool)),
+		cbs:    make(map[*phy.Frame]pendingSend),
 	}
 	m.SetHandler(n)
 	return n
@@ -79,9 +87,7 @@ func (n *Node) SendOneHop(next int, pkt *Packet, done func(ok bool)) {
 		return
 	}
 	f := &phy.Frame{Dst: next, Bytes: pkt.Bytes + IPHeaderBytes, Payload: pkt}
-	if done != nil {
-		n.cbs[f] = done
-	}
+	n.cbs[f] = pendingSend{done: done, sent: n.net.engine.Now(), unicast: true}
 	n.net.countSend(pkt)
 	n.mac.Send(f)
 }
@@ -94,7 +100,7 @@ func (n *Node) BroadcastOneHop(pkt *Packet, done func()) {
 	}
 	f := &phy.Frame{Dst: Broadcast, Bytes: pkt.Bytes + IPHeaderBytes, Payload: pkt}
 	if done != nil {
-		n.cbs[f] = func(bool) { done() }
+		n.cbs[f] = pendingSend{done: func(bool) { done() }}
 	}
 	n.net.countSend(pkt)
 	n.mac.Send(f)
@@ -130,9 +136,14 @@ func (n *Node) MACOverhear(f *phy.Frame) {
 
 // MACSendDone implements mac.Handler.
 func (n *Node) MACSendDone(f *phy.Frame, ok bool) {
-	if cb, found := n.cbs[f]; found {
+	if ps, found := n.cbs[f]; found {
 		delete(n.cbs, f)
-		cb(ok)
+		if ps.unicast {
+			n.net.stats.Observe(LatHop, n.net.engine.Now()-ps.sent)
+		}
+		if ps.done != nil {
+			ps.done(ok)
+		}
 	}
 }
 

@@ -2,71 +2,167 @@ package netstack
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
-// Stats is a bag of named counters shared by a simulation run. It is not
-// safe for concurrent use; the discrete-event engine is single-threaded.
-type Stats struct {
-	counters map[string]int64
+// Counter identifies one of the fixed per-run message counters. Counters
+// are array indices, so incrementing one on the transmit hot path is a
+// single add with no map hashing or allocation.
+type Counter int
+
+// Counters tracked across the stack.
+const (
+	// CtrAppMsgs counts network-layer transmissions of application
+	// (quorum) packets — the paper's "number of messages".
+	CtrAppMsgs Counter = iota
+	// CtrRoutingMsgs counts AODV control transmissions — the paper's
+	// "additional routing overhead".
+	CtrRoutingMsgs
+	// CtrBeaconMsgs counts heartbeat beacons (amortized per the paper,
+	// reported separately).
+	CtrBeaconMsgs
+	numCounters
+)
+
+// counterNames renders Counter values for String().
+var counterNames = [numCounters]string{
+	CtrAppMsgs:     "msgs.app",
+	CtrRoutingMsgs: "msgs.routing",
+	CtrBeaconMsgs:  "msgs.beacon",
 }
 
-// NewStats returns an empty counter set.
-func NewStats() *Stats {
-	return &Stats{counters: make(map[string]int64)}
+// Latency identifies one of the fixed per-run latency accumulators.
+type Latency int
+
+// Latency accumulators tracked across the stack.
+const (
+	// LatHop accumulates per-transmission MAC latency: the time from
+	// handing a unicast frame to the MAC until its send-done upcall (ACK
+	// or retry exhaustion). On the SINR/disk stacks this surfaces
+	// contention; on the ideal stack it reflects the configured hop delay.
+	LatHop Latency = iota
+	numLatencies
+)
+
+// latencyNames renders Latency values for String().
+var latencyNames = [numLatencies]string{
+	LatHop: "latency.hop",
 }
 
-// Inc adds delta to the named counter.
-func (s *Stats) Inc(name string, delta int64) { s.counters[name] += delta }
+// Accumulator aggregates a stream of observations without allocating:
+// count, sum, and extrema. The zero value is ready to use.
+type Accumulator struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+}
 
-// Get returns the named counter's value (zero if never incremented).
-func (s *Stats) Get(name string) int64 { return s.counters[name] }
-
-// Snapshot returns a copy of all counters, e.g. to diff around an
-// experiment phase.
-func (s *Stats) Snapshot() map[string]int64 {
-	cp := make(map[string]int64, len(s.counters))
-	for k, v := range s.counters {
-		cp[k] = v
+// Observe folds one sample into the accumulator.
+func (a *Accumulator) Observe(v float64) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
 	}
-	return cp
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Count++
+	a.Sum += v
 }
 
-// DiffSince returns counter deltas relative to an earlier snapshot.
-func (s *Stats) DiffSince(snap map[string]int64) map[string]int64 {
-	d := make(map[string]int64)
-	for k, v := range s.counters {
-		if dv := v - snap[k]; dv != 0 {
-			d[k] = dv
-		}
+// Mean returns the average observation (zero when empty).
+func (a Accumulator) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// Stats is the typed per-run metrics set: fixed-size counter and latency
+// arrays owned by one Network. It is not safe for concurrent use; the
+// discrete-event engine is single-threaded, and each concurrent run owns
+// its own Network and therefore its own Stats (see DESIGN.md §5,
+// "Concurrency model").
+type Stats struct {
+	counters  [numCounters]int64
+	latencies [numLatencies]Accumulator
+}
+
+// NewStats returns an empty metrics set.
+func NewStats() *Stats {
+	return &Stats{}
+}
+
+// Inc adds delta to the counter.
+func (s *Stats) Inc(c Counter, delta int64) { s.counters[c] += delta }
+
+// Get returns the counter's value (zero if never incremented).
+func (s *Stats) Get(c Counter) int64 { return s.counters[c] }
+
+// Observe folds one sample into the latency accumulator.
+func (s *Stats) Observe(l Latency, v float64) { s.latencies[l].Observe(v) }
+
+// Latency returns a copy of the accumulator.
+func (s *Stats) Latency(l Latency) Accumulator { return s.latencies[l] }
+
+// Snapshot is a point-in-time copy of the counters and latency totals. It
+// is a plain value — taking or diffing one allocates nothing, so phase
+// boundaries inside a run stay off the allocator.
+type Snapshot struct {
+	counters [numCounters]int64
+	latCount [numLatencies]int64
+	latSum   [numLatencies]float64
+}
+
+// Get returns the snapshot's (or diff's) counter value.
+func (sn Snapshot) Get(c Counter) int64 { return sn.counters[c] }
+
+// LatencyMean returns the mean of the accumulator's samples over the
+// snapshot (or, for a diff, over the diffed interval).
+func (sn Snapshot) LatencyMean(l Latency) float64 {
+	if sn.latCount[l] == 0 {
+		return 0
+	}
+	return sn.latSum[l] / float64(sn.latCount[l])
+}
+
+// Snapshot copies the current values, e.g. to diff around an experiment
+// phase.
+func (s *Stats) Snapshot() Snapshot {
+	var sn Snapshot
+	sn.counters = s.counters
+	for i := range s.latencies {
+		sn.latCount[i] = s.latencies[i].Count
+		sn.latSum[i] = s.latencies[i].Sum
+	}
+	return sn
+}
+
+// DiffSince returns the deltas accumulated since an earlier snapshot.
+func (s *Stats) DiffSince(snap Snapshot) Snapshot {
+	d := s.Snapshot()
+	for i := range d.counters {
+		d.counters[i] -= snap.counters[i]
+	}
+	for i := range d.latCount {
+		d.latCount[i] -= snap.latCount[i]
+		d.latSum[i] -= snap.latSum[i]
 	}
 	return d
 }
 
-// String renders the counters sorted by name, one per line.
+// String renders the metrics one per line, counters then latencies.
 func (s *Stats) String() string {
-	names := make([]string, 0, len(s.counters))
-	for k := range s.counters {
-		names = append(names, k)
-	}
-	sort.Strings(names)
 	var b strings.Builder
-	for _, k := range names {
-		fmt.Fprintf(&b, "%-32s %d\n", k, s.counters[k])
+	for c, name := range counterNames {
+		fmt.Fprintf(&b, "%-32s %d\n", name, s.counters[c])
+	}
+	for l, name := range latencyNames {
+		acc := s.latencies[l]
+		if acc.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-32s n=%d mean=%.4gs min=%.4gs max=%.4gs\n",
+			name, acc.Count, acc.Mean(), acc.Min, acc.Max)
 	}
 	return b.String()
 }
-
-// Counter names used across the stack.
-const (
-	// CtrAppMsgs counts network-layer transmissions of application
-	// (quorum) packets — the paper's "number of messages".
-	CtrAppMsgs = "msgs.app"
-	// CtrRoutingMsgs counts AODV control transmissions — the paper's
-	// "additional routing overhead".
-	CtrRoutingMsgs = "msgs.routing"
-	// CtrBeaconMsgs counts heartbeat beacons (amortized per the paper,
-	// reported separately).
-	CtrBeaconMsgs = "msgs.beacon"
-)

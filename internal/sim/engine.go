@@ -4,6 +4,24 @@
 // schedule closures at absolute or relative simulation times, and the engine
 // executes them in nondecreasing time order with FIFO tie-breaking, so a run
 // with a fixed seed is fully reproducible.
+//
+// # Run isolation invariant
+//
+// One Engine is one run, and a run is single-threaded: nothing in this
+// package (or in the stacks built on it) may be shared across engines or
+// touched from another goroutine while the engine runs. Concretely:
+//
+//   - all randomness flows from the engine's seeded source (Rand/NewStream),
+//     never from the global math/rand functions;
+//   - neither sim nor any package built on it holds mutable package-level
+//     state — every cache, counter, and RNG stream hangs off the Engine or
+//     a per-run object constructed around it.
+//
+// This is what makes the experiment layer's worker pool (experiment.
+// RunSweep) safe: independent runs on separate engines may execute
+// concurrently with no locks and bit-for-bit deterministic results.
+// TestEnginesIsolated enforces the invariant under the race detector; new
+// code must preserve it.
 package sim
 
 import (
