@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"probquorum/internal/aodv"
+	"probquorum/internal/churn"
 	"probquorum/internal/membership"
 	"probquorum/internal/mobility"
 	"probquorum/internal/netstack"
@@ -50,6 +51,35 @@ type Scenario struct {
 	// fraction of N to crash and to newly join (Section 8.7). Joining
 	// nodes are pre-allocated and kept down until the churn point.
 	FailFraction, JoinFraction float64
+	// ChurnFailRate / ChurnJoinRate run a *continuous* churn process over
+	// the lookup phase instead: Poisson fail and join events in nodes per
+	// second (the §6.1 process model). Joining nodes come from a
+	// pre-allocated fresh pool, then from reboots of crashed nodes; every
+	// joiner starts with volatile state cleared. Mutually exclusive with
+	// the one-shot FailFraction/JoinFraction churn.
+	ChurnFailRate, ChurnJoinRate float64
+	// ChurnStartSecs delays the continuous process relative to the start
+	// of the lookup phase.
+	ChurnStartSecs float64
+	// ChurnDurationSecs bounds the continuous process; zero runs it for
+	// the whole lookup-issue span.
+	ChurnDurationSecs float64
+	// JoinCapacity overrides how many fresh node slots are pre-allocated
+	// for continuous joins; zero derives ⌈JoinRate·duration⌉ plus slack.
+	JoinCapacity int
+	// DecayBucketSecs, when positive, buckets lookup outcomes by issue
+	// time into Result.Decay — the measured intersection probability over
+	// time as churn accumulates, comparable to §6.1's ε^(1−f(t)).
+	DecayBucketSecs float64
+	// RxLossProb drops each received frame at the receiver with this
+	// probability on any stack (per-hop loss injection; counted under
+	// netstack.CtrLossDrops).
+	RxLossProb float64
+	// MembershipRefreshSecs overrides the membership view refresh period
+	// (default 30 s). Under continuous churn the refresh period bounds how
+	// stale views get — §6.1's closed forms assume fresh membership, so the
+	// decay-validation runs shorten it.
+	MembershipRefreshSecs float64
 	// AdjustLookupSize recomputes |Qℓ| for the post-churn network size
 	// (Section 6.1's "adjusted" variant, used by Fig. 14(f)).
 	AdjustLookupSize bool
@@ -106,6 +136,39 @@ func (sc *Scenario) fillDefaults() {
 	}
 }
 
+// continuousChurn reports whether the scenario runs the Poisson process
+// (as opposed to the one-shot between-phase churn).
+func (sc *Scenario) continuousChurn() bool {
+	return sc.ChurnFailRate > 0 || sc.ChurnJoinRate > 0
+}
+
+// lookupSpanSecs is the duration of the lookup-issue phase. Call after
+// fillDefaults.
+func (sc *Scenario) lookupSpanSecs() float64 {
+	return float64(sc.Lookups) * sc.LookupGapSecs
+}
+
+// churnDuration is how long the continuous process runs. Call after
+// fillDefaults.
+func (sc *Scenario) churnDuration() float64 {
+	if sc.ChurnDurationSecs > 0 {
+		return sc.ChurnDurationSecs
+	}
+	return sc.lookupSpanSecs()
+}
+
+// joinSlots is how many extra node slots are pre-allocated (kept down until
+// they join). Call after fillDefaults.
+func (sc *Scenario) joinSlots() int {
+	if sc.continuousChurn() {
+		if sc.JoinCapacity > 0 {
+			return sc.JoinCapacity
+		}
+		return int(math.Ceil(sc.ChurnJoinRate*sc.churnDuration())) + 2
+	}
+	return int(math.Round(sc.JoinFraction * float64(sc.N)))
+}
+
 // Result aggregates one run's measurements (or a mean over seeds).
 type Result struct {
 	// HitRatio is the fraction of lookups whose reply reached the origin
@@ -132,10 +195,52 @@ type Result struct {
 	// AvgHopLatency is the mean per-transmission MAC latency over the
 	// whole run (netstack's LatHop accumulator).
 	AvgHopLatency float64
+	// LossDrops counts frames dropped by the injected per-hop loss
+	// process over the whole run.
+	LossDrops float64
+	// ChurnFails / ChurnJoins count continuous-churn events over the run
+	// (averaged over seeds).
+	ChurnFails, ChurnJoins float64
 	// Counters are the quorum protocol diagnostics.
 	Counters quorum.Counters
+	// Decay holds the per-time-bucket lookup outcomes when
+	// DecayBucketSecs is set (counts are sums over merged runs).
+	Decay []DecayPoint
 	// Runs is how many seeds were averaged.
 	Runs int
+}
+
+// DecayPoint is one time bucket of the decay-over-time measurement: the
+// outcomes of lookups *issued* within [T, T+DecayBucketSecs) seconds of the
+// lookup phase start, plus the cumulative churned fraction at the bucket's
+// end. Lookups whose origin had crashed by issue time are excluded — the
+// §6.1 closed forms condition on a live client.
+type DecayPoint struct {
+	// T is the bucket start, seconds since the lookup phase began.
+	T float64
+	// Lookups, Hits, Intersects count issued lookups and their outcomes
+	// (float64 so merged runs sum without conversion).
+	Lookups, Hits, Intersects float64
+	// FailedFrac is f(t) = cumulative fails / N sampled at the bucket
+	// end, averaged over merged runs. 1−ε^(1−f(t)) is the §6.1 predicted
+	// intersection probability for this bucket.
+	FailedFrac float64
+}
+
+// HitRatio is the bucket's measured hit fraction.
+func (d DecayPoint) HitRatio() float64 {
+	if d.Lookups == 0 {
+		return 0
+	}
+	return d.Hits / d.Lookups
+}
+
+// IntersectRatio is the bucket's measured intersection fraction.
+func (d DecayPoint) IntersectRatio() float64 {
+	if d.Lookups == 0 {
+		return 0
+	}
+	return d.Intersects / d.Lookups
 }
 
 // buildStack constructs the full simulation stack for a scenario: engine,
@@ -146,12 +251,13 @@ func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *memb
 	engine := sim.NewEngine(sc.Seed)
 
 	// Pre-allocate join capacity; joiners stay down until churn time.
-	joiners := int(math.Round(sc.JoinFraction * float64(sc.N)))
+	joiners := sc.joinSlots()
 	total := sc.N + joiners
 
 	cfg := netstack.Config{
 		N: total, AvgDegree: sc.AvgDegree, Stack: sc.Stack,
 		LossProb: sc.LossProb, IdealHopDelay: sc.IdealHopDelay,
+		RxLossProb: sc.RxLossProb,
 	}
 	// Area sized for the *initial* population, per the paper's scaling.
 	cfg.Side = areaSide(sc.N, 200, sc.AvgDegree)
@@ -176,7 +282,10 @@ func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *memb
 		}
 		routing = aodv.New(net, acfg)
 	}
-	members := membership.New(net, membership.Config{ViewSize: membership.DefaultViewSize(sc.N)})
+	members := membership.New(net, membership.Config{
+		ViewSize:    membership.DefaultViewSize(sc.N),
+		RefreshSecs: sc.MembershipRefreshSecs,
+	})
 	sys := quorum.New(net, routing, members, sc.Quorum)
 	for id := sc.N; id < total; id++ {
 		net.Fail(id) // joiners wait in the wings
@@ -187,7 +296,7 @@ func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *memb
 // Run executes one scenario and returns its measurements.
 func Run(sc Scenario) Result {
 	sc.fillDefaults()
-	joiners := int(math.Round(sc.JoinFraction * float64(sc.N)))
+	joiners := sc.joinSlots()
 	total := sc.N + joiners
 	engine, net, _, members, sys := buildStack(sc)
 	rng := engine.NewStream()
@@ -212,22 +321,45 @@ func Run(sc Scenario) Result {
 	engine.Run(engine.Now() + float64(sc.Advertisements)*sc.AdvertiseGapSecs + 30)
 	adDiff := net.Stats().DiffSince(adStart)
 
-	// Churn between the phases (Section 8.7).
-	fails := int(math.Round(sc.FailFraction * float64(sc.N)))
-	if fails > 0 {
-		for _, id := range pickDistinct(rng, net, sc.N, fails) {
-			net.Fail(id)
+	// Churn: either the continuous Poisson process over the lookup phase,
+	// or the paper's one-shot event between the phases (Section 8.7).
+	var proc *churn.Process
+	if sc.continuousChurn() {
+		proc = churn.New(net, churn.Config{
+			FailRate: sc.ChurnFailRate, JoinRate: sc.ChurnJoinRate,
+		})
+		fresh := make([]int, 0, joiners)
+		for id := sc.N; id < total; id++ {
+			fresh = append(fresh, id)
 		}
-	}
-	for id := sc.N; id < total; id++ {
-		net.Revive(id)
-	}
-	if fails > 0 || joiners > 0 {
-		members.RefreshAll()
-		if sc.AdjustLookupSize {
-			sys.SetLookupSize(adjustedLookupSize(sc.Quorum.LookupSize, sc.N, net.NumAlive()))
+		proc.SetFreshPool(fresh)
+		proc.OnJoin(func(id int) {
+			// A joiner — fresh slot or rebooted crash — carries no quorum
+			// state and bootstraps a membership view immediately; the rest
+			// of the network's views catch up at the next refresh, stale in
+			// between exactly as a real membership service's would be.
+			sys.ResetNode(id)
+			members.RefreshNode(id)
+		})
+		engine.Schedule(sc.ChurnStartSecs, proc.Start)
+		engine.Schedule(sc.ChurnStartSecs+sc.churnDuration(), proc.Stop)
+	} else {
+		fails := int(math.Round(sc.FailFraction * float64(sc.N)))
+		if fails > 0 {
+			for _, id := range pickDistinct(rng, net, sc.N, fails) {
+				net.Fail(id)
+			}
 		}
-		engine.Run(engine.Now() + 5)
+		for id := sc.N; id < total; id++ {
+			net.Revive(id)
+		}
+		if fails > 0 || joiners > 0 {
+			members.RefreshAll()
+			if sc.AdjustLookupSize {
+				sys.SetLookupSize(adjustedLookupSize(sc.Quorum.LookupSize, sc.N, net.NumAlive()))
+			}
+			engine.Run(engine.Now() + 5)
+		}
 	}
 
 	// Phase 2: lookups from LookupNodes random nodes (paper: 1000 by 25).
@@ -236,6 +368,26 @@ func Run(sc Scenario) Result {
 	for i := range lookupOrigins {
 		lookupOrigins[i] = net.RandomAliveID(rng)
 	}
+	// Decay buckets slice the lookup phase by issue time; each bucket's
+	// churned fraction f(t) is sampled at its end for the §6.1 comparison.
+	var decay []DecayPoint
+	if sc.DecayBucketSecs > 0 {
+		nb := int(math.Ceil(sc.lookupSpanSecs() / sc.DecayBucketSecs))
+		if nb < 1 {
+			nb = 1
+		}
+		decay = make([]DecayPoint, nb)
+		for b := range decay {
+			decay[b].T = float64(b) * sc.DecayBucketSecs
+			b := b
+			engine.Schedule(float64(b+1)*sc.DecayBucketSecs, func() {
+				if proc != nil {
+					decay[b].FailedFrac = float64(proc.Stats().Fails) / float64(sc.N)
+				}
+			})
+		}
+	}
+
 	var hits, intersects, lkDone int
 	var latencySum float64
 	for i := 0; i < sc.Lookups; i++ {
@@ -244,10 +396,20 @@ func Run(sc Scenario) Result {
 		if sc.LookupAbsentKeys {
 			key = fmt.Sprintf("absent-%d", i)
 		}
-		engine.Schedule(float64(i)*sc.LookupGapSecs, func() {
+		issueAt := float64(i) * sc.LookupGapSecs
+		bucket := -1
+		if len(decay) > 0 {
+			if b := int(issueAt / sc.DecayBucketSecs); b < len(decay) {
+				bucket = b
+			}
+		}
+		engine.Schedule(issueAt, func() {
 			if !net.Alive(origin) {
-				lkDone++ // origin died under churn; skip silently
-				return
+				lkDone++ // origin died under churn: a global miss, but
+				return   // excluded from buckets (§6.1 assumes a live client)
+			}
+			if bucket >= 0 {
+				decay[bucket].Lookups++
 			}
 			sys.Lookup(origin, key, func(r quorum.LookupResult) {
 				lkDone++
@@ -258,16 +420,35 @@ func Run(sc Scenario) Result {
 				if r.Intersected {
 					intersects++
 				}
+				if bucket >= 0 {
+					if r.Hit {
+						decay[bucket].Hits++
+					}
+					if r.Intersected {
+						decay[bucket].Intersects++
+					}
+				}
 			})
 		})
 	}
-	lookupSpan := float64(sc.Lookups) * sc.LookupGapSecs
-	timeout := sys.Config().LookupTimeout
-	engine.Run(engine.Now() + lookupSpan + timeout + 30)
+	lookupSpan := sc.lookupSpanSecs()
+	// Drain long enough for the last lookup to exhaust its retry ladder.
+	qc := sys.Config()
+	drain := qc.LookupTimeout + 30
+	for a := 1; a <= qc.LookupRetries; a++ {
+		drain += qc.RetryBackoffSecs*float64(int(1)<<(a-1)) + qc.LookupTimeout
+	}
+	engine.Run(engine.Now() + lookupSpan + drain)
 	lkDiff := net.Stats().DiffSince(lkStart)
 
-	res := Result{Runs: 1, Counters: sys.Counters()}
+	res := Result{Runs: 1, Counters: sys.Counters(), Decay: decay}
 	res.AvgHopLatency = net.Stats().Latency(netstack.LatHop).Mean()
+	res.LossDrops = float64(net.Stats().Get(netstack.CtrLossDrops))
+	if proc != nil {
+		cs := proc.Stats()
+		res.ChurnFails = float64(cs.Fails)
+		res.ChurnJoins = float64(cs.Joins)
+	}
 	if sc.Lookups > 0 {
 		res.HitRatio = float64(hits) / float64(sc.Lookups)
 		res.IntersectRatio = float64(intersects) / float64(sc.Lookups)

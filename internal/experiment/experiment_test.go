@@ -245,6 +245,7 @@ func TestAllFigureGenerators(t *testing.T) {
 		"tau":   func() []Table { return TauSweep(p, 1) },
 		"f4s":   func() []Table { return Fig4Series(p, 1) },
 		"crt":   func() []Table { return CrossingTime(p, 1) },
+		"decay": func() []Table { return FigDecay(p, 1) },
 	}
 	for name, gen := range gens {
 		name, gen := name, gen

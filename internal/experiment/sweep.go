@@ -125,6 +125,18 @@ func mergeRuns(runs []Result) Result {
 		agg.AvgPlaced += one.AvgPlaced
 		agg.AvgLatency += one.AvgLatency
 		agg.AvgHopLatency += one.AvgHopLatency
+		agg.LossDrops += one.LossDrops
+		agg.ChurnFails += one.ChurnFails
+		agg.ChurnJoins += one.ChurnJoins
+		for bi, d := range one.Decay {
+			if bi >= len(agg.Decay) {
+				agg.Decay = append(agg.Decay, DecayPoint{T: d.T})
+			}
+			agg.Decay[bi].Lookups += d.Lookups
+			agg.Decay[bi].Hits += d.Hits
+			agg.Decay[bi].Intersects += d.Intersects
+			agg.Decay[bi].FailedFrac += d.FailedFrac
+		}
 		agg.Counters.Salvations += one.Counters.Salvations
 		agg.Counters.WalkDrops += one.Counters.WalkDrops
 		agg.Counters.WalkExpirations += one.Counters.WalkExpirations
@@ -136,6 +148,9 @@ func mergeRuns(runs []Result) Result {
 		agg.Counters.CacheHits += one.Counters.CacheHits
 		agg.Counters.RingEscalations += one.Counters.RingEscalations
 		agg.Counters.OverhearReplies += one.Counters.OverhearReplies
+		agg.Counters.LookupRetries += one.Counters.LookupRetries
+		agg.Counters.Readvertises += one.Counters.Readvertises
+		agg.Counters.DeadOriginOps += one.Counters.DeadOriginOps
 	}
 	f := float64(len(runs))
 	agg.HitRatio /= f
@@ -148,6 +163,14 @@ func mergeRuns(runs []Result) Result {
 	agg.AvgPlaced /= f
 	agg.AvgLatency /= f
 	agg.AvgHopLatency /= f
+	agg.LossDrops /= f
+	agg.ChurnFails /= f
+	agg.ChurnJoins /= f
+	// Decay bucket counts stay sums (ratios come from the accessors);
+	// only the sampled churned fraction averages.
+	for bi := range agg.Decay {
+		agg.Decay[bi].FailedFrac /= f
+	}
 	agg.Runs = len(runs)
 	return agg
 }

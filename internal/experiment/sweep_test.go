@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -42,7 +43,7 @@ func TestRunSweepDeterminism(t *testing.T) {
 		t.Fatalf("result lengths: serial=%d parallel=%d", len(serial), len(parallel))
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
 			t.Fatalf("point %d diverged:\nserial:   %+v\nparallel: %+v", i, serial[i], parallel[i])
 		}
 	}
@@ -58,7 +59,7 @@ func TestRunSweepMatchesRunSeeds(t *testing.T) {
 	}
 	for i, pt := range sw.Points {
 		want := RunSeeds(pt.Scenario, pt.Seeds)
-		if res[i] != want {
+		if !reflect.DeepEqual(res[i], want) {
 			t.Fatalf("point %d: sweep %+v != RunSeeds %+v", i, res[i], want)
 		}
 		if res[i].Runs != pt.Seeds {

@@ -59,6 +59,9 @@ type Service struct {
 	cfg   Config
 	rng   *rand.Rand
 	views [][]int
+	// scratch is reused by Pick so the quorum hot path allocates only its
+	// result slice.
+	scratch []int
 }
 
 // New builds the service and fills initial views (the paper's warmed-up
@@ -124,19 +127,24 @@ func (s *Service) refreshRandomWalk() {
 			s.views[id] = nil
 			continue
 		}
-		view := make([]int, 0, s.cfg.ViewSize)
-		seen := map[int]bool{id: true}
-		// Each entry is an independent MD-walk endpoint; collisions are
-		// redrawn, bounded to keep termination certain on small graphs.
-		for attempts := 0; len(view) < s.cfg.ViewSize && attempts < 4*s.cfg.ViewSize; attempts++ {
-			end := graph.Sample(g, s.rng, id, s.cfg.WalkLength)
-			if !seen[end] && s.net.Alive(end) {
-				seen[end] = true
-				view = append(view, end)
-			}
-		}
-		s.views[id] = view
+		s.refreshNodeWalk(g, id)
 	}
+}
+
+// refreshNodeWalk redraws one live node's view as MD-walk endpoints on g.
+func (s *Service) refreshNodeWalk(g *graph.Graph, id int) {
+	view := make([]int, 0, s.cfg.ViewSize)
+	seen := map[int]bool{id: true}
+	// Each entry is an independent MD-walk endpoint; collisions are
+	// redrawn, bounded to keep termination certain on small graphs.
+	for attempts := 0; len(view) < s.cfg.ViewSize && attempts < 4*s.cfg.ViewSize; attempts++ {
+		end := graph.Sample(g, s.rng, id, s.cfg.WalkLength)
+		if !seen[end] && s.net.Alive(end) {
+			seen[end] = true
+			view = append(view, end)
+		}
+	}
+	s.views[id] = view
 }
 
 // snapshotGraph builds the current connectivity graph from the network's
@@ -171,12 +179,33 @@ func (s *Service) Pick(rng *rand.Rand, id, k int) []int {
 		copy(out, view)
 		return out
 	}
-	idx := rng.Perm(len(view))[:k]
+	// Partial Fisher–Yates over a reused scratch copy: the same uniform
+	// without-replacement distribution as a full Perm, but only k swaps
+	// and no O(len(view)) garbage per quorum access.
+	s.scratch = append(s.scratch[:0], view...)
 	out := make([]int, k)
-	for i, j := range idx {
-		out[i] = view[j]
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(s.scratch)-i)
+		s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i]
+		out[i] = s.scratch[i]
 	}
 	return out
+}
+
+// RefreshNode redraws a single node's view immediately — e.g. to bootstrap
+// a node that just joined, which would otherwise stay viewless (and hold a
+// stale spot in other views) until the next periodic RefreshAll.
+func (s *Service) RefreshNode(id int) {
+	if !s.net.Alive(id) {
+		s.views[id] = nil
+		return
+	}
+	switch s.cfg.Mode {
+	case ModeOracle:
+		s.views[id] = sampleDistinct(s.rng, s.net.AliveIDs(), id, s.cfg.ViewSize)
+	case ModeRandomWalk:
+		s.refreshNodeWalk(s.snapshotGraph(), id)
+	}
 }
 
 // sampleDistinct draws k distinct elements of pool, excluding exclude.

@@ -70,6 +70,13 @@ type Config struct {
 	HeartbeatSecs float64
 	// LossProb is the per-attempt loss probability for the ideal stack.
 	LossProb float64
+	// RxLossProb drops each successfully received frame at the receiver
+	// with this probability, independently per receiver, on any stack.
+	// Unlike LossProb (an ideal-stack channel model that MAC retries see),
+	// RxLossProb models losses the link layer cannot mask — the lossy
+	// environment of gossip-routing studies — and is counted under
+	// CtrLossDrops.
+	RxLossProb float64
 	// IdealHopDelay adds fixed per-hop latency on the ideal stack
 	// (models queueing/channel access without contention).
 	IdealHopDelay float64
@@ -120,6 +127,10 @@ type Network struct {
 	medium    phy.Medium    // nil for the ideal stack
 	ideal     *mac.IdealNet // nil for SINR/disk stacks
 	neighbors NeighborProvider
+
+	// lossFunc, when non-nil, is consulted for every frame arriving at a
+	// receiver (unicast and broadcast alike); returning true drops it.
+	lossFunc func(from, to int, pkt *Packet) bool
 }
 
 // New builds a network of cfg.N nodes on the engine.
@@ -183,7 +194,32 @@ func New(engine *sim.Engine, cfg Config) *Network {
 	case NeighborsHeartbeat:
 		net.neighbors = newHeartbeatService(net, cfg.HeartbeatSecs)
 	}
+	if cfg.RxLossProb > 0 {
+		// The stream is derived only when loss is enabled so that loss-free
+		// configurations draw the exact same random sequence as before.
+		lrng := engine.NewStream()
+		p := cfg.RxLossProb
+		net.lossFunc = func(int, int, *Packet) bool { return lrng.Float64() < p }
+	}
 	return net
+}
+
+// SetLossFunc installs a custom receiver-side drop predicate, replacing any
+// RxLossProb-derived one: every frame arriving at a live receiver (delivery
+// or overhear) is dropped when f returns true. Pass nil to disable loss.
+// Dropped frames are counted under CtrLossDrops. A custom predicate needing
+// randomness should draw from a stream of the network's engine.
+func (net *Network) SetLossFunc(f func(from, to int, pkt *Packet) bool) {
+	net.lossFunc = f
+}
+
+// dropReceived applies the injected loss process to one arriving frame.
+func (net *Network) dropReceived(from, to int, pkt *Packet) bool {
+	if net.lossFunc == nil || !net.lossFunc(from, to, pkt) {
+		return false
+	}
+	net.stats.Inc(CtrLossDrops, 1)
+	return true
 }
 
 // Engine returns the simulation engine.

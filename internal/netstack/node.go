@@ -115,6 +115,9 @@ func (n *Node) MACReceive(f *phy.Frame) {
 	if !ok {
 		return
 	}
+	if n.net.dropReceived(f.Src, n.id, pkt) {
+		return
+	}
 	if h := n.protos[pkt.Proto]; h != nil {
 		h.HandlePacket(n, pkt, f.Src)
 	}
@@ -127,6 +130,9 @@ func (n *Node) MACOverhear(f *phy.Frame) {
 	}
 	pkt, ok := f.Payload.(*Packet)
 	if !ok {
+		return
+	}
+	if n.net.dropReceived(f.Src, n.id, pkt) {
 		return
 	}
 	for _, tap := range n.overhear {

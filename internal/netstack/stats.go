@@ -21,6 +21,9 @@ const (
 	// CtrBeaconMsgs counts heartbeat beacons (amortized per the paper,
 	// reported separately).
 	CtrBeaconMsgs
+	// CtrLossDrops counts frames discarded at a receiver by the injected
+	// per-hop loss process (Config.RxLossProb / Network.SetLossFunc).
+	CtrLossDrops
 	numCounters
 )
 
@@ -29,6 +32,7 @@ var counterNames = [numCounters]string{
 	CtrAppMsgs:     "msgs.app",
 	CtrRoutingMsgs: "msgs.routing",
 	CtrBeaconMsgs:  "msgs.beacon",
+	CtrLossDrops:   "msgs.lossdrops",
 }
 
 // Latency identifies one of the fixed per-run latency accumulators.

@@ -77,7 +77,7 @@ func (s *System) lookupRandom(origin int, op opID, key string) {
 		return // origin-only quorum: timeout will declare the miss
 	}
 	if s.cfg.SerialRandomLookup {
-		lk := s.lookups[op]
+		lk := s.lookups[s.resolve(op)]
 		lk.serialTargets = members
 		lk.serialNext = 0
 		s.serialLookupStep(origin, op, key)
@@ -96,7 +96,7 @@ const serialStepTimeout = 2.0
 
 // serialLookupStep contacts the next member of a serial Random lookup.
 func (s *System) serialLookupStep(origin int, op opID, key string) {
-	lk := s.lookups[op]
+	lk := s.lookups[s.resolve(op)]
 	if lk == nil || lk.finished {
 		return
 	}
@@ -113,7 +113,7 @@ func (s *System) serialLookupStep(origin int, op opID, key string) {
 		}
 	})
 	s.engine.Schedule(serialStepTimeout, func() {
-		if cur := s.lookups[op]; cur != nil && !cur.finished && cur.serialNext == lk.serialNext {
+		if cur := s.lookups[s.resolve(op)]; cur != nil && !cur.finished && cur.serialNext == lk.serialNext {
 			s.serialLookupStep(origin, op, key)
 		}
 	})

@@ -16,6 +16,16 @@ type OpRef struct{ id opID }
 // access concludes.
 func (s *System) Advertise(origin int, key, value string, done func(AdvertiseResult)) OpRef {
 	op := s.nextOp(origin)
+	// A crashed node cannot publish: fail the op immediately instead of
+	// self-hitting its (dead) local store and transmitting.
+	if !s.net.Alive(origin) {
+		s.counters.DeadOriginOps++
+		if done != nil {
+			s.engine.Schedule(0, func() { done(AdvertiseResult{Requested: s.cfg.AdvertiseSize}) })
+		}
+		return OpRef{id: op}
+	}
+	s.owned[ownedKey{origin: origin, key: key}] = value
 	ad := &pendingAdvertise{id: op, done: done, storedAt: make(map[int]bool)}
 	s.ads[op] = ad
 	switch s.cfg.AdvertiseStrategy {
@@ -45,7 +55,19 @@ func (s *System) Advertise(origin int, key, value string, done func(AdvertiseRes
 // the configured timeout.
 func (s *System) Lookup(origin int, key string, done func(LookupResult)) OpRef {
 	op := s.nextOp(origin)
-	lk := &pendingLookup{id: op, key: key, done: done, issued: s.engine.Now()}
+	// A crashed node cannot search: fail the op immediately instead of
+	// self-hitting its (dead) local store and transmitting.
+	if !s.net.Alive(origin) {
+		s.counters.DeadOriginOps++
+		if done != nil {
+			s.engine.Schedule(0, func() { done(LookupResult{}) })
+		}
+		return OpRef{id: op}
+	}
+	lk := &pendingLookup{
+		id: op, key: key, done: done, issued: s.engine.Now(),
+		retriesLeft: s.cfg.LookupRetries,
+	}
 	s.lookups[op] = lk
 	lk.timer = sim.NewTimer(s.engine, func() { s.lookupTimeout(op) })
 	lk.timer.Reset(s.cfg.LookupTimeout)
@@ -60,14 +82,27 @@ func (s *System) Lookup(origin int, key string, done func(LookupResult)) OpRef {
 		return OpRef{id: op}
 	}
 
+	s.dispatchLookup(origin, op, key, false)
+	return OpRef{id: op}
+}
+
+// dispatchLookup launches one lookup quorum access for op using the
+// configured strategy. It is shared by Lookup, LookupCollect, and timeout
+// retries (which pass a child op so the access's state is fresh while
+// replies still resolve to the root lookup).
+func (s *System) dispatchLookup(origin int, op opID, key string, collect bool) {
 	switch s.cfg.LookupStrategy {
 	case Random:
 		s.lookupRandom(origin, op, key)
 	case RandomOpt:
 		s.lookupRandomOpt(origin, op, key)
 	case Path, UniquePath:
-		s.startWalk(origin, op, false, key, "",
-			s.cfg.LookupSize, s.cfg.LookupStrategy == UniquePath)
+		if collect {
+			s.startWalkNoHalt(origin, op, key, s.cfg.LookupSize, s.cfg.LookupStrategy == UniquePath)
+		} else {
+			s.startWalk(origin, op, false, key, "",
+				s.cfg.LookupSize, s.cfg.LookupStrategy == UniquePath)
+		}
 	case Flooding:
 		s.lookupFlood(origin, op, key)
 	case ExpandingRing:
@@ -77,7 +112,6 @@ func (s *System) Lookup(origin int, key string, done func(LookupResult)) OpRef {
 	default:
 		panic(fmt.Sprintf("quorum: unknown lookup strategy %v", s.cfg.LookupStrategy))
 	}
-	return OpRef{id: op}
 }
 
 // CollectResult is the outcome of a LookupCollect.
@@ -97,6 +131,13 @@ type CollectResult struct {
 // replicas its quorum intersects (Section 6.1, Section 10).
 func (s *System) LookupCollect(origin int, key string, window float64, done func(CollectResult)) OpRef {
 	op := s.nextOp(origin)
+	if !s.net.Alive(origin) {
+		s.counters.DeadOriginOps++
+		if done != nil {
+			s.engine.Schedule(0, func() { done(CollectResult{}) })
+		}
+		return OpRef{id: op}
+	}
 	lk := &pendingLookup{
 		id: op, key: key, issued: s.engine.Now(),
 		collect: true, collectDone: done,
@@ -111,22 +152,7 @@ func (s *System) LookupCollect(origin int, key string, window float64, done func
 		lk.collected = append(lk.collected, value)
 	}
 
-	switch s.cfg.LookupStrategy {
-	case Random:
-		s.lookupRandom(origin, op, key)
-	case RandomOpt:
-		s.lookupRandomOpt(origin, op, key)
-	case Path, UniquePath:
-		s.startWalkNoHalt(origin, op, key, s.cfg.LookupSize, s.cfg.LookupStrategy == UniquePath)
-	case Flooding:
-		s.lookupFlood(origin, op, key)
-	case ExpandingRing:
-		s.lookupExpandingRing(origin, op, key)
-	case RandomSampling:
-		s.accessBySampling(origin, op, false, key, "", s.cfg.LookupSize)
-	default:
-		panic(fmt.Sprintf("quorum: unknown lookup strategy %v", s.cfg.LookupStrategy))
-	}
+	s.dispatchLookup(origin, op, key, true)
 	return OpRef{id: op}
 }
 
@@ -138,7 +164,7 @@ func (s *System) finishCollect(op opID) {
 	}
 	lk.finished = true
 	delete(s.lookups, op)
-	s.releaseOpState(op, lk.children)
+	s.releaseOpState(op)
 	if lk.collectDone != nil {
 		lk.collectDone(CollectResult{Values: lk.collected, Intersected: lk.intersected})
 	}
@@ -224,7 +250,7 @@ func (s *System) completeLookup(op opID, value string) {
 	lk.finished = true
 	lk.timer.Cancel()
 	delete(s.lookups, op)
-	s.releaseOpState(op, lk.children)
+	s.releaseOpState(op)
 	if s.cfg.Caching {
 		s.cacheAt(op.Origin, lk.key, value)
 	}
@@ -238,18 +264,57 @@ func (s *System) completeLookup(op opID, value string) {
 	}
 }
 
-// lookupTimeout finishes op as a miss.
+// lookupTimeout finishes op as a miss — unless retries remain, in which
+// case the lookup backs off exponentially and re-draws a fresh quorum
+// (graceful degradation under churn: a miss against a decayed advertise
+// quorum is independent across draws, so each retry multiplies the miss
+// probability by ε^(1−f) again).
 func (s *System) lookupTimeout(op opID) {
 	lk := s.lookups[op]
 	if lk == nil || lk.finished {
 		return
 	}
+	if !lk.collect && lk.retriesLeft > 0 && s.net.Alive(op.Origin) {
+		lk.retriesLeft--
+		lk.attempt++
+		s.counters.LookupRetries++
+		backoff := s.cfg.RetryBackoffSecs * float64(int(1)<<(lk.attempt-1))
+		lk.timer.Reset(backoff + s.cfg.LookupTimeout)
+		s.engine.Schedule(backoff, func() { s.retryLookup(op) })
+		return
+	}
 	lk.finished = true
 	delete(s.lookups, op)
-	s.releaseOpState(op, lk.children)
+	s.releaseOpState(op)
 	if lk.done != nil {
 		lk.done(LookupResult{Hit: false, Intersected: lk.intersected})
 	}
+}
+
+// retryLookup re-launches a timed-out lookup with a freshly drawn quorum.
+// The re-draw runs as a child op so per-access state (flood dedup, ring
+// escalation) restarts, while hits still resolve to the root lookup.
+func (s *System) retryLookup(op opID) {
+	lk := s.lookups[op]
+	if lk == nil || lk.finished {
+		return
+	}
+	origin := op.Origin
+	if !s.net.Alive(origin) {
+		return // crashed since the timeout; the rearmed timer ends the op
+	}
+	// A cached reply may have landed since the first attempt.
+	if value, ok := s.stores[origin].Get(lk.key); ok {
+		lk.intersected = true
+		if !s.stores[origin].Owner(lk.key) {
+			s.counters.CacheHits++
+		}
+		s.completeLookup(op, value)
+		return
+	}
+	child := s.nextOp(origin)
+	s.addChild(op, child)
+	s.dispatchLookup(origin, child, lk.key, false)
 }
 
 // advertiseSettled decrements the outstanding-contact count and finishes
@@ -265,15 +330,39 @@ func (s *System) advertiseSettled(op opID) {
 	}
 	ad.finished = true
 	delete(s.ads, op)
-	s.releaseOpState(op, ad.children)
+	s.releaseOpState(op)
 	if ad.done != nil {
 		ad.done(ad.res)
 	}
 }
 
 // FloodCoverage returns how many distinct nodes a Flooding operation
-// reached so far (Fig. 5's coverage metric).
-func (s *System) FloodCoverage(ref OpRef) int { return s.floodCoverage[ref.id] }
+// reached so far (Fig. 5's coverage metric). ExpandingRing operations run
+// each ring as a child op so flood deduplication restarts per round; their
+// coverage is the union of distinct nodes across all rounds, not any single
+// round's count.
+func (s *System) FloodCoverage(ref OpRef) int {
+	op := s.resolve(ref.id)
+	children := s.opChildren[op]
+	if len(children) == 0 {
+		return s.floodCoverage[op]
+	}
+	distinct := make(map[int]struct{}, len(s.floodPrev[op]))
+	for n := range s.floodPrev[op] {
+		distinct[n] = struct{}{}
+	}
+	for _, c := range children {
+		for n := range s.floodPrev[c] {
+			distinct[n] = struct{}{}
+		}
+	}
+	if len(distinct) == 0 {
+		// Children without flood state (e.g. retry re-draws of a non-flood
+		// strategy): fall back to the op's own counter.
+		return s.floodCoverage[op]
+	}
+	return len(distinct)
+}
 
 // opStateGraceSecs is how long per-operation flood state (reverse-path
 // maps, ring aliases) outlives the operation — long enough for straggler
@@ -282,15 +371,16 @@ func (s *System) FloodCoverage(ref OpRef) int { return s.floodCoverage[ref.id] }
 const opStateGraceSecs = 60
 
 // releaseOpState schedules the garbage collection of an operation's flood
-// bookkeeping and ring aliases.
-func (s *System) releaseOpState(op opID, children []opID) {
+// bookkeeping and child-op aliases.
+func (s *System) releaseOpState(op opID) {
 	s.engine.Schedule(opStateGraceSecs, func() {
 		delete(s.floodPrev, op)
 		delete(s.floodCoverage, op)
-		for _, c := range children {
+		for _, c := range s.opChildren[op] {
 			delete(s.opAlias, c)
 			delete(s.floodPrev, c)
 			delete(s.floodCoverage, c)
 		}
+		delete(s.opChildren, op)
 	})
 }

@@ -132,6 +132,19 @@ type Config struct {
 	// LookupTimeout bounds how long a lookup waits for a reply before
 	// reporting a miss (seconds).
 	LookupTimeout float64
+	// LookupRetries is how many times a timed-out lookup is retried with a
+	// freshly drawn quorum before reporting the miss — the client-side
+	// recovery for the degradation of Section 6.1. Zero disables retries.
+	LookupRetries int
+	// RetryBackoffSecs is the delay before the first retry; each further
+	// retry doubles it (exponential backoff). Defaults to 1 when
+	// LookupRetries is set.
+	RetryBackoffSecs float64
+	// ReadvertiseSecs, when positive, re-advertises every live owner's
+	// keys with this period (TTL refresh), restoring replication lost to
+	// crashed quorum members — the periodic re-establishment that Timed
+	// Quorum Systems shows dynamic quorums need.
+	ReadvertiseSecs float64
 	// Merge, when set, resolves conflicting writes to the same key: on a
 	// store that already holds old, the node keeps Merge(key, old, new)
 	// instead of blindly overwriting. This is the version-number
@@ -219,6 +232,15 @@ type Counters struct {
 	// OverhearReplies counts walk lookups answered by promiscuous
 	// overhearers (Section 7.2).
 	OverhearReplies int
+	// LookupRetries counts timed-out lookup attempts retried with a fresh
+	// quorum draw.
+	LookupRetries int
+	// Readvertises counts owner refreshes issued by the periodic
+	// re-advertise ticker.
+	Readvertises int
+	// DeadOriginOps counts operations rejected because their origin was
+	// down when they were issued.
+	DeadOriginOps int
 }
 
 // System runs a probabilistic biquorum system over a network. Construct one
@@ -234,9 +256,15 @@ type System struct {
 	opSeq   uint32
 	lookups map[opID]*pendingLookup
 	ads     map[opID]*pendingAdvertise
-	// opAlias maps child operations (e.g. one expanding-ring round) to
-	// their parent lookup.
-	opAlias map[opID]opID
+	// opAlias maps child operations (expanding-ring rounds, retry
+	// re-draws) to the root operation that owns the pending state;
+	// opChildren is the reverse index, released with the root.
+	opAlias    map[opID]opID
+	opChildren map[opID][]opID
+
+	// owned records the latest value each origin has advertised per key,
+	// feeding the periodic re-advertise refresh.
+	owned map[ownedKey]string
 
 	// flood bookkeeping: per-op per-node previous hop (reverse path) and
 	// coverage counts.
@@ -244,6 +272,12 @@ type System struct {
 	floodCoverage map[opID]int
 
 	counters Counters
+}
+
+// ownedKey identifies one origin's advertised key in the refresh registry.
+type ownedKey struct {
+	origin int
+	key    string
 }
 
 type pendingLookup struct {
@@ -262,9 +296,10 @@ type pendingLookup struct {
 	collect     bool
 	collected   []string
 	collectDone func(CollectResult)
-	// children are expanding-ring round ops aliased to this lookup,
-	// released together with it.
-	children []opID
+	// retry state: remaining fresh-quorum re-draws after a timeout, and
+	// how many attempts have run (drives the exponential backoff).
+	retriesLeft int
+	attempt     int
 }
 
 type pendingAdvertise struct {
@@ -275,8 +310,6 @@ type pendingAdvertise struct {
 	finished bool
 	// storedAt tracks the distinct nodes this operation has written.
 	storedAt map[int]bool
-	// children are expanding-ring round ops aliased to this advertise.
-	children []opID
 }
 
 // New installs the quorum protocol on every node of net. routing is any
@@ -295,6 +328,8 @@ func New(net *netstack.Network, routing aodv.Router, members *membership.Service
 		lookups:       make(map[opID]*pendingLookup),
 		ads:           make(map[opID]*pendingAdvertise),
 		opAlias:       make(map[opID]opID),
+		opChildren:    make(map[opID][]opID),
+		owned:         make(map[ownedKey]string),
 		floodPrev:     make(map[opID]map[int]int),
 		floodCoverage: make(map[opID]int),
 	}
@@ -326,16 +361,28 @@ func New(net *netstack.Network, routing aodv.Router, members *membership.Service
 			net.Node(id).AddOverhearTap(s.overhearTap)
 		}
 	}
+	if cfg.ReadvertiseSecs > 0 {
+		sim.NewTicker(net.Engine(), cfg.ReadvertiseSecs, cfg.ReadvertiseSecs, s.readvertiseAll)
+	}
 	return s
 }
 
-// resolve follows child-operation aliases (expanding-ring rounds) to the
-// parent operation that owns the pending-lookup state.
+// resolve follows child-operation aliases (expanding-ring rounds, retry
+// re-draws) to the root operation that owns the pending state.
 func (s *System) resolve(op opID) opID {
 	if parent, ok := s.opAlias[op]; ok {
 		return parent
 	}
 	return op
+}
+
+// addChild registers child as a sub-operation of parent. Aliases always
+// point at the root operation (a ring round launched by a retry re-draw
+// aliases to the original lookup), keeping resolution single-step.
+func (s *System) addChild(parent, child opID) {
+	root := s.resolve(parent)
+	s.opAlias[child] = root
+	s.opChildren[root] = append(s.opChildren[root], child)
 }
 
 func applyDefaults(cfg *Config, n int) {
@@ -374,6 +421,9 @@ func applyDefaults(cfg *Config, n int) {
 	}
 	if cfg.MaxDegreeEstimate == 0 {
 		cfg.MaxDegreeEstimate = 24
+	}
+	if cfg.LookupRetries > 0 && cfg.RetryBackoffSecs == 0 {
+		cfg.RetryBackoffSecs = 1
 	}
 }
 

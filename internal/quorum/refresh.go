@@ -1,0 +1,60 @@
+package quorum
+
+import "sort"
+
+// Periodic re-advertising (TTL refresh). Under continuous churn the
+// advertise quorum holding a key decays: each crashed member permanently
+// removes a replica, and §6.1 shows the miss probability after a churned
+// fraction f grows to ε^(1−f). Timed Quorum Systems formalizes the remedy —
+// quorum guarantees in a dynamic system hold only for a bounded time and
+// must be re-established periodically. With ReadvertiseSecs set, every
+// origin that is still alive republishes its keys each period, drawing a
+// fresh advertise quorum and restoring the replica count to |Qa|.
+
+// readvertiseAll refreshes every live owner's advertised keys. Iteration is
+// over a sorted snapshot — map order must not leak into the deterministic
+// event schedule — and each refresh is jittered across the first quarter of
+// the period so refreshes don't burst at the tick.
+func (s *System) readvertiseAll() {
+	if len(s.owned) == 0 {
+		return
+	}
+	keys := make([]ownedKey, 0, len(s.owned))
+	for k := range s.owned {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].origin != keys[j].origin {
+			return keys[i].origin < keys[j].origin
+		}
+		return keys[i].key < keys[j].key
+	})
+	rng := s.engine.Rand()
+	for _, k := range keys {
+		if !s.net.Alive(k.origin) {
+			continue // a crashed owner's keys refresh only if it republishes
+		}
+		k := k
+		s.engine.Schedule(rng.Float64()*0.25*s.cfg.ReadvertiseSecs, func() {
+			value, ok := s.owned[k]
+			if !ok || !s.net.Alive(k.origin) {
+				return
+			}
+			s.counters.Readvertises++
+			s.Advertise(k.origin, k.key, value, nil)
+		})
+	}
+}
+
+// ResetNode clears node id's volatile quorum state: its local store and its
+// re-advertise registrations. Call it when a node (re)joins — replicas and
+// ownership do not survive a crash, which is exactly the loss that periodic
+// re-advertising compensates for.
+func (s *System) ResetNode(id int) {
+	s.stores[id] = NewStore()
+	for k := range s.owned {
+		if k.origin == id {
+			delete(s.owned, k)
+		}
+	}
+}

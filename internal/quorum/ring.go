@@ -15,17 +15,18 @@ func (s *System) lookupExpandingRing(origin int, op opID, key string) {
 	s.ringRound(origin, op, key, 1)
 }
 
-// ringRound floods one ring and schedules the escalation check.
+// ringRound floods one ring and schedules the escalation check. op may be
+// the root lookup or a retry re-draw; pending state lives at the root.
 func (s *System) ringRound(origin int, op opID, key string, ttl int) {
-	lk := s.lookups[op]
+	root := s.resolve(op)
+	lk := s.lookups[root]
 	if lk == nil || lk.finished {
 		return
 	}
 	// Each round is a child operation so flood deduplication restarts:
 	// nodes covered by the previous ring must process the wider flood.
 	child := s.nextOp(origin)
-	s.opAlias[child] = op
-	lk.children = append(lk.children, child)
+	s.addChild(root, child)
 	prev := make(map[int]int)
 	prev[origin] = origin
 	s.floodPrev[child] = prev
@@ -44,9 +45,9 @@ func (s *System) ringRound(origin int, op opID, key string, ttl int) {
 		return // widest ring out; the op timeout decides the miss
 	}
 	s.engine.Schedule(ringWait(ttl), func() {
-		if cur := s.lookups[op]; cur != nil && !cur.finished {
+		if cur := s.lookups[root]; cur != nil && !cur.finished {
 			s.counters.RingEscalations++
-			s.ringRound(origin, op, key, ttl+1)
+			s.ringRound(origin, root, key, ttl+1)
 		}
 	})
 }
@@ -62,10 +63,7 @@ func (s *System) advertiseExpandingRing(origin int, op opID, key, value string) 
 
 func (s *System) advertiseRingRound(origin int, op opID, key, value string, ttl int) {
 	child := s.nextOp(origin)
-	s.opAlias[child] = op
-	if ad := s.ads[op]; ad != nil {
-		ad.children = append(ad.children, child)
-	}
+	s.addChild(op, child)
 	prev := make(map[int]int)
 	prev[origin] = origin
 	s.floodPrev[child] = prev

@@ -75,7 +75,7 @@ func (s *System) handleWalk(n *netstack.Node, _ *netstack.Packet, m *walkMsg) {
 		if !s.stores[u].Owner(m.Key) {
 			s.counters.CacheHits++
 		}
-		if lk := s.lookups[m.Op]; lk != nil && !lk.finished {
+		if lk := s.lookups[s.resolve(m.Op)]; lk != nil && !lk.finished {
 			s.sendWalkReply(n, next, value)
 		}
 		if s.cfg.EarlyHalt && !m.NoHalt {

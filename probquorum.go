@@ -28,6 +28,7 @@ package probquorum
 
 import (
 	"probquorum/internal/aodv"
+	"probquorum/internal/churn"
 	"probquorum/internal/experiment"
 	"probquorum/internal/geom"
 	"probquorum/internal/membership"
@@ -126,11 +127,23 @@ type ClusterConfig struct {
 	// MaxSpeed with 30 s pauses; zero keeps the network static.
 	MaxSpeed float64
 	// Quorum overrides the quorum configuration; zero value uses
-	// DefaultQuorumConfig(Nodes).
+	// DefaultQuorumConfig(Nodes). Set Quorum.LookupRetries /
+	// Quorum.ReadvertiseSecs for graceful degradation under churn.
 	Quorum Config
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// RxLossProb drops each received frame at the receiver with this
+	// probability — probabilistic per-hop loss injection.
+	RxLossProb float64
+	// ChurnFailRate / ChurnJoinRate start a continuous Poisson churn
+	// process (nodes per second) after warm-up. Joins reboot previously
+	// crashed nodes with volatile state cleared; with no crashes yet the
+	// join is skipped. Inspect progress with ChurnStats.
+	ChurnFailRate, ChurnJoinRate float64
 }
+
+// ChurnStats counts churn-process events; see Cluster.ChurnStats.
+type ChurnStats = churn.Stats
 
 // Cluster is a simulated ad hoc network running the quorum system. It wraps
 // the engine, stack, routing, membership and quorum layers behind a small
@@ -141,6 +154,7 @@ type Cluster struct {
 	routing *aodv.Routing
 	members *membership.Service
 	system  *quorum.System
+	churn   *churn.Process
 }
 
 // NewCluster builds a cluster and warms it up (neighbor discovery and
@@ -165,6 +179,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	side := geom.AreaSide(cfg.Nodes, 200, cfg.AvgDegree)
 	ncfg := netstack.Config{
 		N: cfg.Nodes, AvgDegree: cfg.AvgDegree, Stack: cfg.Stack, Side: side,
+		RxLossProb: cfg.RxLossProb,
 	}
 	if cfg.MaxSpeed > 0 {
 		ncfg.Mobility = mobility.NewWaypoint(engine.NewStream(), cfg.Nodes, mobility.WaypointConfig{
@@ -180,6 +195,17 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		members: members, system: system,
 	}
 	c.RunFor(25) // neighbor discovery warm-up
+	if cfg.ChurnFailRate > 0 || cfg.ChurnJoinRate > 0 {
+		c.churn = churn.New(network, churn.Config{
+			FailRate: cfg.ChurnFailRate, JoinRate: cfg.ChurnJoinRate,
+		})
+		c.churn.OnJoin(func(id int) {
+			// Rebooted nodes carry no quorum state and bootstrap a view.
+			system.ResetNode(id)
+			members.RefreshNode(id)
+		})
+		c.churn.Start()
+	}
 	return c
 }
 
@@ -258,3 +284,19 @@ func (c *Cluster) RoutingMessages() int64 {
 
 // SetLookupSize adjusts |Qℓ| at runtime (Section 6.1 adaptation).
 func (c *Cluster) SetLookupSize(k int) { c.system.SetLookupSize(k) }
+
+// ChurnStats reports the continuous churn process's event counts (zero if
+// no churn rates were configured).
+func (c *Cluster) ChurnStats() ChurnStats {
+	if c.churn == nil {
+		return ChurnStats{}
+	}
+	return c.churn.Stats()
+}
+
+// StopChurn halts the continuous churn process.
+func (c *Cluster) StopChurn() {
+	if c.churn != nil {
+		c.churn.Stop()
+	}
+}

@@ -70,6 +70,50 @@ func TestClusterChurn(t *testing.T) {
 	}
 }
 
+func TestClusterContinuousChurn(t *testing.T) {
+	cfg := DefaultQuorumConfig(100)
+	cfg.LookupRetries = 1
+	cfg.ReadvertiseSecs = 10
+	c := NewCluster(ClusterConfig{
+		Nodes: 100, AvgDegree: 15, Seed: 7, Quorum: cfg,
+		ChurnFailRate: 0.5, ChurnJoinRate: 0.5, RxLossProb: 0.02,
+	})
+	c.AdvertiseWait(0, "k", "v")
+	c.RunFor(40)
+	st := c.ChurnStats()
+	if st.Fails == 0 || st.Joins == 0 {
+		t.Fatalf("churn process idle: %+v", st)
+	}
+	c.StopChurn()
+	frozen := c.ChurnStats()
+	c.RunFor(40)
+	if c.ChurnStats() != frozen {
+		t.Fatalf("churn continued after StopChurn: %+v → %+v", frozen, c.ChurnStats())
+	}
+	// The quorum system keeps serving through and after the churn window
+	// (re-advertise repairs replicas lost to crashes).
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if !c.Alive((i*11 + 5) % 100) {
+			continue
+		}
+		if c.LookupWait((i*11+5)%100, "k").Hit {
+			hits++
+		}
+	}
+	if hits < 5 {
+		t.Fatalf("only %d hits after churn with recovery enabled", hits)
+	}
+}
+
+func TestClusterChurnStatsZeroWhenDisabled(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 40, Seed: 8})
+	if st := c.ChurnStats(); st != (ChurnStats{}) {
+		t.Fatalf("churn stats without churn: %+v", st)
+	}
+	c.StopChurn() // must be a no-op, not a panic
+}
+
 func TestClusterMobile(t *testing.T) {
 	c := NewCluster(ClusterConfig{Nodes: 80, Seed: 5, MaxSpeed: 2})
 	c.AdvertiseWait(0, "k", "v")
