@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test check bench quick
+.PHONY: build test check bench quick chaos
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,19 @@ test:
 	$(GO) test ./...
 
 # check is the CI gate: vet plus the short test set under the race
-# detector. The race run is what enforces the per-engine isolation
-# invariant (sim.TestEnginesIsolated and the parallel-vs-serial sweep
-# determinism tests in internal/experiment run concurrent full stacks).
-check: build
+# detector, then the chaos acceptance sweep. The race run is what enforces
+# the per-engine isolation invariant (sim.TestEnginesIsolated and the
+# parallel-vs-serial sweep determinism tests in internal/experiment run
+# concurrent full stacks).
+check: build chaos
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# chaos runs the fault-injection acceptance sweep: ≥50 randomized fault
+# schedules with the invariant checkers armed (skipped under -short, so it
+# gets its own target; see internal/experiment/chaos_test.go).
+chaos:
+	$(GO) test -run 'TestChaos' -count=1 ./internal/experiment
 
 # bench surfaces the parallel sweep executor's scaling on this machine.
 bench:

@@ -6,8 +6,10 @@
 //	pqexp [flags] all
 //
 // Figures: fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 fig16, plus tau, fig4series, crt and decay (the §6.1
-// continuous-churn decay/recovery experiment).
+// fig14 fig15 fig16, plus tau, fig4series, crt, decay (the §6.1
+// continuous-churn decay/recovery experiment) and chaos (the fault-injection
+// harness: randomized partition/link-fault/jamming schedules with invariant
+// checkers armed).
 //
 // By default it runs the quick profile (ideal link layer, scaled-down
 // sweep). Pass -full for the paper-scale configuration on the SINR stack
@@ -85,7 +87,7 @@ func run(args []string) error {
 	figs := fs.Args()
 	if len(figs) == 1 && figs[0] == "all" {
 		figs = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tau", "fig4series", "crt", "decay"}
+			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tau", "fig4series", "crt", "decay", "chaos"}
 	}
 	for _, f := range figs {
 		start := time.Now()
@@ -150,6 +152,8 @@ func runFigure(name string, p experiment.Profile, seed int64) ([]experiment.Tabl
 		return experiment.CrossingTime(p, seed), nil
 	case "decay", "churn":
 		return experiment.FigDecay(p, seed), nil
+	case "chaos", "faults":
+		return experiment.FigChaos(p, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown figure %q", name)
 	}

@@ -1,0 +1,296 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"probquorum/internal/check"
+	"probquorum/internal/faults"
+	"probquorum/internal/netstack"
+	"probquorum/internal/quorum"
+	"probquorum/internal/register"
+)
+
+// The chaos harness stresses the stack along the network axis — partitions
+// that heal, lossy/duplicating/reordering links, blackhole relays, jamming
+// bursts — with the invariant checkers of internal/check armed, and
+// measures how far the ε-intersection guarantee degrades during an episode
+// and how completely it recovers after healing. The hard invariants
+// (exactly-once op resolution, no delivery to dead or partitioned nodes,
+// frame conservation) must hold at every severity; the probabilistic
+// metrics (intersection, staleness) are the paper's §2.5/§6.1 degradation
+// and are reported against the 1−ε bound rather than asserted.
+
+// ChaosScenario describes one chaos run: a three-phase lookup workload
+// (pre-fault, during-fault, post-heal) plus a register read/write workload,
+// with a fault schedule active during the middle phase.
+type ChaosScenario struct {
+	// N is the node count (default 50).
+	N int
+	// Seed drives all randomness, including the fault schedule.
+	Seed int64
+	// Stack selects fidelity (default netstack.StackIdeal).
+	Stack netstack.StackKind
+	// Epsilon sizes the RANDOM×RANDOM biquorum (default 0.1).
+	Epsilon float64
+	// Severity in [0,1] scales the randomized fault schedule.
+	Severity float64
+	// Episodes is the number of fault episodes drawn (default 3).
+	Episodes int
+	// Schedule overrides the randomized schedule with an explicit one
+	// (still confined to the fault phase).
+	Schedule []faults.Episode
+	// FaultSpanSecs is the fault phase length; every episode starts and
+	// heals inside it (default 40).
+	FaultSpanSecs float64
+	// PhaseSpanSecs is the pre- and post-phase length (default 15).
+	PhaseSpanSecs float64
+	// Advertisements is how many keys are published before the phases
+	// (default 12).
+	Advertisements int
+	// LookupsPerPhase is the lookup workload per phase (default 12).
+	LookupsPerPhase int
+	// RegisterOpsPerPhase is the register write+read pairs per phase
+	// (default 2).
+	RegisterOpsPerPhase int
+	// LookupRetries / RetryBackoffSecs / ReadvertiseSecs arm the
+	// recovery mechanisms (zero = off), as in the §6.1 burst comparison.
+	LookupRetries    int
+	RetryBackoffSecs float64
+	ReadvertiseSecs  float64
+}
+
+func (cs *ChaosScenario) fillDefaults() {
+	if cs.N == 0 {
+		cs.N = 50
+	}
+	if cs.Stack == 0 {
+		cs.Stack = netstack.StackIdeal
+	}
+	if cs.Epsilon == 0 {
+		cs.Epsilon = 0.1
+	}
+	if cs.Episodes == 0 {
+		cs.Episodes = 3
+	}
+	if cs.FaultSpanSecs == 0 {
+		cs.FaultSpanSecs = 40
+	}
+	if cs.PhaseSpanSecs == 0 {
+		cs.PhaseSpanSecs = 15
+	}
+	if cs.Advertisements == 0 {
+		cs.Advertisements = 12
+	}
+	if cs.LookupsPerPhase == 0 {
+		cs.LookupsPerPhase = 12
+	}
+	if cs.RegisterOpsPerPhase == 0 {
+		cs.RegisterOpsPerPhase = 2
+	}
+}
+
+// ChaosPhase tallies lookup outcomes for one phase of a chaos run,
+// attributed by issue time.
+type ChaosPhase struct {
+	Lookups, Hits, Intersects int
+}
+
+// HitRatio is the phase's hit fraction.
+func (p ChaosPhase) HitRatio() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Lookups)
+}
+
+// IntersectRatio is the phase's intersection fraction — the quantity
+// Lemma 5.2 bounds below by 1−ε in the absence of faults.
+func (p ChaosPhase) IntersectRatio() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Intersects) / float64(p.Lookups)
+}
+
+// add folds another phase tally in (cross-seed aggregation).
+func (p *ChaosPhase) add(o ChaosPhase) {
+	p.Lookups += o.Lookups
+	p.Hits += o.Hits
+	p.Intersects += o.Intersects
+}
+
+// ChaosResult is the outcome of one chaos run (or a cross-seed aggregate).
+type ChaosResult struct {
+	// Pre, During, Post are the phase tallies.
+	Pre, During, Post ChaosPhase
+	// Report is the invariant checkers' verdict.
+	Report check.Report
+	// Fault-pipeline counters observed over the run.
+	Dupes, Reorders, PartitionDrops, FaultDrops int64
+	// Runs is how many runs this result aggregates.
+	Runs int
+}
+
+// RunChaos executes one chaos scenario with checkers armed. The run is
+// deterministic per Seed: the engine, workload, and fault schedule all draw
+// from the run's own engine streams.
+func RunChaos(cs ChaosScenario) ChaosResult {
+	cs.fillDefaults()
+	sc := Scenario{
+		N: cs.N, AvgDegree: 15, Stack: cs.Stack, Seed: cs.Seed,
+		MembershipRefreshSecs: 5,
+	}
+	qa, ql := quorum.SizeForEpsilon(cs.N, cs.Epsilon, 1)
+	sc.Quorum = mixConfig(cs.N, quorum.Random, quorum.Random)
+	sc.Quorum.AdvertiseSize, sc.Quorum.LookupSize = qa, ql
+	sc.Quorum.Merge = register.Merge
+	sc.Quorum.LookupRetries = cs.LookupRetries
+	sc.Quorum.RetryBackoffSecs = cs.RetryBackoffSecs
+	sc.Quorum.ReadvertiseSecs = cs.ReadvertiseSecs
+	sc.fillDefaults()
+
+	engine, net, _, _, sys := buildStack(sc)
+	inj := faults.New(net)
+	suite := check.NewSuite(net, sys)
+	suite.SetPartitionOracle(inj.Partitioned)
+	rng := engine.NewStream()
+	scheduleRng := engine.NewStream()
+
+	engine.Run(sc.WarmupSecs)
+
+	// Publish the keys the lookup workload will search for.
+	keys := make([]string, cs.Advertisements)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("chaos-key-%d", i)
+		i := i
+		engine.Schedule(float64(i)*0.5, func() {
+			suite.Advertise(net.RandomAliveID(rng), keys[i], "v", nil)
+		})
+	}
+	engine.Run(engine.Now() + float64(cs.Advertisements)*0.5 + 20)
+
+	reg := suite.WrapRegister(register.New(sys, "chaos-register", register.Config{}))
+	regSeq := 0
+
+	// issuePhase spreads the phase's lookups and register ops over span
+	// seconds, then runs the engine to the end of the span. Outcomes are
+	// attributed to the phase that issued them even if they resolve
+	// later (retries can outlive an episode — that is the recovery).
+	issuePhase := func(ph *ChaosPhase, span float64) {
+		gap := span / float64(cs.LookupsPerPhase+1)
+		for i := 0; i < cs.LookupsPerPhase; i++ {
+			i := i
+			engine.Schedule(float64(i+1)*gap, func() {
+				ph.Lookups++
+				suite.Lookup(net.RandomAliveID(rng), keys[rng.Intn(len(keys))],
+					func(res quorum.LookupResult) {
+						if res.Hit {
+							ph.Hits++
+						}
+						if res.Intersected {
+							ph.Intersects++
+						}
+					})
+			})
+		}
+		for i := 0; i < cs.RegisterOpsPerPhase; i++ {
+			regSeq++
+			data := fmt.Sprintf("chaos-data-%d", regSeq)
+			at := span * (float64(i) + 0.3) / float64(cs.RegisterOpsPerPhase)
+			engine.Schedule(at, func() {
+				reg.Write(net.RandomAliveID(rng), data, nil)
+			})
+			engine.Schedule(at+span*0.3/float64(cs.RegisterOpsPerPhase), func() {
+				reg.Read(net.RandomAliveID(rng), nil)
+			})
+		}
+		engine.Run(engine.Now() + span)
+	}
+
+	var res ChaosResult
+	res.Runs = 1
+
+	// Phase 1: fault-free baseline.
+	issuePhase(&res.Pre, cs.PhaseSpanSecs)
+
+	// Phase 2: the fault schedule goes live.
+	schedule := cs.Schedule
+	if schedule == nil {
+		schedule = faults.RandomSchedule(scheduleRng, faults.ScheduleConfig{
+			HorizonSecs: cs.FaultSpanSecs,
+			Episodes:    cs.Episodes,
+			Severity:    cs.Severity,
+			N:           cs.N,
+		})
+	}
+	inj.Schedule(schedule)
+	issuePhase(&res.During, cs.FaultSpanSecs)
+
+	// Settle: every episode has healed; let in-flight retries resolve
+	// before the post-heal measurement.
+	engine.Run(engine.Now() + 10)
+
+	// Phase 3: post-heal — the regime where the 1−ε bound must hold
+	// again.
+	issuePhase(&res.Post, cs.PhaseSpanSecs)
+
+	// Drain past the slowest possible resolution: the full retry ladder
+	// plus the collect window and a safety margin.
+	drain := sc.Quorum.LookupTimeout
+	backoff := sc.Quorum.RetryBackoffSecs
+	for r := 0; r < sc.Quorum.LookupRetries; r++ {
+		drain += backoff + sc.Quorum.LookupTimeout
+		backoff *= 2
+	}
+	engine.Run(engine.Now() + drain + 15)
+
+	res.Report = suite.Final()
+	st := net.Stats()
+	res.Dupes = st.Get(netstack.CtrDupes)
+	res.Reorders = st.Get(netstack.CtrReorders)
+	res.PartitionDrops = st.Get(netstack.CtrPartitionDrops)
+	res.FaultDrops = st.Get(netstack.CtrFaultDrops)
+	return res
+}
+
+// RunChaosSweep executes the scenarios on a worker pool of `parallel`
+// goroutines (0 = GOMAXPROCS). Each run owns its whole stack, so results
+// are bit-identical to running serially, in any pool size.
+func RunChaosSweep(ctx context.Context, scs []ChaosScenario, parallel int) ([]ChaosResult, error) {
+	out := make([]ChaosResult, len(scs))
+	err := forEachJob(ctx, len(scs), parallel, func(j int) {
+		out[j] = RunChaos(scs[j])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mergeChaos aggregates per-seed chaos results into one.
+func mergeChaos(runs []ChaosResult) ChaosResult {
+	var agg ChaosResult
+	for _, one := range runs {
+		agg.Pre.add(one.Pre)
+		agg.During.add(one.During)
+		agg.Post.add(one.Post)
+		agg.Report.Violations += one.Report.Violations
+		agg.Report.Details = append(agg.Report.Details, one.Report.Details...)
+		agg.Report.Lookups += one.Report.Lookups
+		agg.Report.Hits += one.Report.Hits
+		agg.Report.Intersections += one.Report.Intersections
+		agg.Report.Advertises += one.Report.Advertises
+		agg.Report.Reads += one.Report.Reads
+		agg.Report.Writes += one.Report.Writes
+		agg.Report.StaleReads += one.Report.StaleReads
+		agg.Report.MissedReads += one.Report.MissedReads
+		agg.Report.Outstanding += one.Report.Outstanding
+		agg.Dupes += one.Dupes
+		agg.Reorders += one.Reorders
+		agg.PartitionDrops += one.PartitionDrops
+		agg.FaultDrops += one.FaultDrops
+		agg.Runs += one.Runs
+	}
+	return agg
+}

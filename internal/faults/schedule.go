@@ -1,0 +1,77 @@
+package faults
+
+import "math/rand"
+
+// ScheduleConfig parameterizes RandomSchedule.
+type ScheduleConfig struct {
+	// HorizonSecs is the window fault episodes must fit inside: every
+	// episode starts and heals within [0, HorizonSecs].
+	HorizonSecs float64
+	// Episodes is how many episodes to draw (default 3).
+	Episodes int
+	// Severity in [0,1] scales fault intensity: loss/duplicate/jitter
+	// probabilities, jam width, and episode durations all grow with it.
+	Severity float64
+	// N is the network size (bounds blackhole/jam node counts).
+	N int
+}
+
+// RandomSchedule draws a randomized fault schedule: Episodes episodes of
+// random kinds, intensities scaled by Severity, packed into the horizon so
+// that every episode heals before the horizon ends (chaos runs then observe
+// a post-heal phase, the regime where Lemma 5.2's bound must re-emerge).
+// All draws come from rng, so the schedule is deterministic per seed.
+func RandomSchedule(rng *rand.Rand, cfg ScheduleConfig) []Episode {
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 3
+	}
+	sev := cfg.Severity
+	if sev < 0 {
+		sev = 0
+	}
+	if sev > 1 {
+		sev = 1
+	}
+	kinds := []Kind{Partition, Loss, Duplicate, Jitter, Blackhole, Jam}
+	eps := make([]Episode, 0, cfg.Episodes)
+	for i := 0; i < cfg.Episodes; i++ {
+		// Duration grows with severity but always heals in time.
+		dur := cfg.HorizonSecs * (0.1 + 0.4*sev) * (0.5 + rng.Float64()*0.5)
+		maxStart := cfg.HorizonSecs - dur
+		if maxStart < 0 {
+			dur = cfg.HorizonSecs * 0.5
+			maxStart = cfg.HorizonSecs - dur
+		}
+		ep := Episode{
+			Kind:     kinds[rng.Intn(len(kinds))],
+			Start:    rng.Float64() * maxStart,
+			Duration: dur,
+		}
+		switch ep.Kind {
+		case Partition:
+			ep.Parts = 2 + rng.Intn(2)
+		case Loss:
+			ep.Prob = 0.1 + 0.5*sev*rng.Float64()
+			ep.Asymmetric = rng.Float64() < 0.5
+		case Duplicate:
+			ep.Prob = 0.1 + 0.4*sev*rng.Float64()
+		case Jitter:
+			ep.Prob = 0.2 + 0.6*sev*rng.Float64()
+			ep.MaxDelay = 0.05 + 0.5*sev*rng.Float64()
+		case Blackhole:
+			count := 1 + int(sev*float64(cfg.N)*0.1*rng.Float64())
+			if count > cfg.N/4 {
+				count = cfg.N / 4
+			}
+			if count < 1 {
+				count = 1
+			}
+			ep.Count = count
+		case Jam:
+			ep.Count = 1
+			ep.Radius = 50 + 150*sev*rng.Float64()
+		}
+		eps = append(eps, ep)
+	}
+	return eps
+}

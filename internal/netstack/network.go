@@ -131,6 +131,53 @@ type Network struct {
 	// lossFunc, when non-nil, is consulted for every frame arriving at a
 	// receiver (unicast and broadcast alike); returning true drops it.
 	lossFunc func(from, to int, pkt *Packet) bool
+	// partitionFunc, when non-nil, reports whether two nodes are in
+	// different network partitions; cross-partition frames are dropped.
+	partitionFunc PartitionFunc
+	// faultFunc, when non-nil, picks a fault action for every arriving
+	// frame (generalizing lossFunc to duplication, delay, blackholing).
+	faultFunc LinkFaultFunc
+	// deliveryObserver, when non-nil, sees every frame actually handed to
+	// a node — the invariant checkers' vantage point.
+	deliveryObserver func(from, to int, pkt *Packet)
+	// pendingDelayed counts fault-delayed frames still in flight, closing
+	// the conservation identity mid-run.
+	pendingDelayed int
+	// linkOrder tracks per-link arrival/delivery order while a fault
+	// function is installed, so reorders are observable as a counter.
+	linkOrder map[linkKey]*linkOrder
+}
+
+// PartitionFunc reports whether nodes a and b are currently separated by a
+// network partition. It must be symmetric.
+type PartitionFunc func(a, b int) bool
+
+// FaultAction is what an injected link fault does to one arriving frame.
+// The zero value delivers the frame normally.
+type FaultAction struct {
+	// Drop discards the frame (asymmetric loss, blackhole relays,
+	// jamming on the non-SINR stacks). Counted under CtrFaultDrops.
+	Drop bool
+	// Duplicate delivers a second copy of the frame (after the same
+	// Delay). Counted under CtrDupes.
+	Duplicate bool
+	// Delay defers delivery by this many seconds (jitter); delayed frames
+	// can be overtaken by later ones, producing reordering.
+	Delay float64
+}
+
+// LinkFaultFunc inspects one frame arriving at a live receiver and picks a
+// fault action. A predicate needing randomness should draw from a stream of
+// the network's engine so runs stay deterministic.
+type LinkFaultFunc func(from, to int, pkt *Packet) FaultAction
+
+// linkKey identifies one directed link for reorder tracking.
+type linkKey struct{ from, to int }
+
+// linkOrder tracks the arrival and delivery sequence on one directed link.
+type linkOrder struct {
+	nextArrival   int64
+	lastDelivered int64 // highest arrival seq delivered so far; -1 when none
 }
 
 // New builds a network of cfg.N nodes on the engine.
@@ -213,13 +260,142 @@ func (net *Network) SetLossFunc(f func(from, to int, pkt *Packet) bool) {
 	net.lossFunc = f
 }
 
-// dropReceived applies the injected loss process to one arriving frame.
-func (net *Network) dropReceived(from, to int, pkt *Packet) bool {
-	if net.lossFunc == nil || !net.lossFunc(from, to, pkt) {
-		return false
+// SetPartitionFunc installs a partition predicate: every frame whose sender
+// and receiver it separates is dropped at the receiver and counted under
+// CtrPartitionDrops. Pass nil to heal. The partition is modelled above the
+// link layer (like RxLossProb): the MAC may still ACK a frame that the
+// network layer then discards — the paper's Section 6.2 failure
+// notification therefore does not fire for partition drops, which is what
+// makes partitions the adversarial case for quorum accesses.
+func (net *Network) SetPartitionFunc(f PartitionFunc) {
+	net.partitionFunc = f
+}
+
+// SetLinkFaultFunc installs a per-link fault function generalizing
+// SetLossFunc: every frame arriving at a live receiver (delivery or
+// overhear) can be dropped, duplicated, or delayed. Pass nil to disable.
+// Installing a fault function also arms per-link reorder tracking
+// (CtrReorders).
+func (net *Network) SetLinkFaultFunc(f LinkFaultFunc) {
+	net.faultFunc = f
+	if f != nil && net.linkOrder == nil {
+		net.linkOrder = make(map[linkKey]*linkOrder)
 	}
-	net.stats.Inc(CtrLossDrops, 1)
-	return true
+}
+
+// SetDeliveryObserver installs a hook that sees every frame actually handed
+// to a node (after all injected faults), with the transmitting neighbor.
+// The check package uses it to verify that no frame is ever delivered to a
+// dead node or across an active partition.
+func (net *Network) SetDeliveryObserver(f func(from, to int, pkt *Packet)) {
+	net.deliveryObserver = f
+}
+
+// PendingFaultDeliveries returns how many fault-delayed frames are still in
+// flight — the term that closes the conservation identity mid-run.
+func (net *Network) PendingFaultDeliveries() int { return net.pendingDelayed }
+
+// deliverRx runs one arriving frame through the injected fault pipeline
+// (partition, loss, link faults) and dispatches the surviving copies. It is
+// the single choke point for both delivery (overhear=false) and promiscuous
+// overhearing (overhear=true), so the conservation counters account for
+// every frame that reaches a live receiver.
+func (net *Network) deliverRx(n *Node, from int, pkt *Packet, overhear bool) {
+	net.stats.Inc(CtrRxArrivals, 1)
+	if net.partitionFunc != nil && net.partitionFunc(from, n.id) {
+		net.stats.Inc(CtrPartitionDrops, 1)
+		return
+	}
+	if net.lossFunc != nil && net.lossFunc(from, n.id, pkt) {
+		net.stats.Inc(CtrLossDrops, 1)
+		return
+	}
+	if net.faultFunc == nil {
+		net.dispatchRx(n, from, pkt, overhear)
+		return
+	}
+	act := net.faultFunc(from, n.id, pkt)
+	if act.Drop {
+		net.stats.Inc(CtrFaultDrops, 1)
+		return
+	}
+	copies := 1
+	if act.Duplicate {
+		copies = 2
+		net.stats.Inc(CtrDupes, 1)
+		net.stats.Inc(CtrRxArrivals, 1) // the extra copy is its own arrival
+	}
+	for i := 0; i < copies; i++ {
+		lo := net.orderState(from, n.id)
+		seq := lo.nextArrival
+		lo.nextArrival++
+		if act.Delay <= 0 {
+			net.noteDelivered(lo, seq)
+			net.dispatchRx(n, from, pkt, overhear)
+			continue
+		}
+		net.pendingDelayed++
+		net.engine.Schedule(act.Delay, func() {
+			net.pendingDelayed--
+			net.finishDelayed(n, from, pkt, overhear, lo, seq)
+		})
+	}
+}
+
+// finishDelayed delivers one fault-delayed frame, re-checking liveness and
+// the partition at delivery time: a frame must never reach a node that died
+// or was partitioned away while the frame sat in the jitter queue.
+func (net *Network) finishDelayed(n *Node, from int, pkt *Packet, overhear bool, lo *linkOrder, seq int64) {
+	if !net.alive[n.id] {
+		net.stats.Inc(CtrFaultDrops, 1)
+		return
+	}
+	if net.partitionFunc != nil && net.partitionFunc(from, n.id) {
+		net.stats.Inc(CtrPartitionDrops, 1)
+		return
+	}
+	net.noteDelivered(lo, seq)
+	net.dispatchRx(n, from, pkt, overhear)
+}
+
+// dispatchRx hands one surviving frame to the node.
+func (net *Network) dispatchRx(n *Node, from int, pkt *Packet, overhear bool) {
+	net.stats.Inc(CtrRxDelivered, 1)
+	if net.deliveryObserver != nil {
+		net.deliveryObserver(from, n.id, pkt)
+	}
+	if overhear {
+		for _, tap := range n.overhear {
+			tap(n, pkt, from)
+		}
+		return
+	}
+	if h := n.protos[pkt.Proto]; h != nil {
+		h.HandlePacket(n, pkt, from)
+	}
+}
+
+// orderState returns the reorder tracker for one directed link.
+func (net *Network) orderState(from, to int) *linkOrder {
+	k := linkKey{from: from, to: to}
+	lo := net.linkOrder[k]
+	if lo == nil {
+		lo = &linkOrder{lastDelivered: -1}
+		net.linkOrder[k] = lo
+	}
+	return lo
+}
+
+// noteDelivered records one delivery in link order, counting overtakes.
+func (net *Network) noteDelivered(lo *linkOrder, seq int64) {
+	if lo == nil {
+		return
+	}
+	if seq < lo.lastDelivered {
+		net.stats.Inc(CtrReorders, 1)
+		return
+	}
+	lo.lastDelivered = seq
 }
 
 // Engine returns the simulation engine.
@@ -244,6 +420,11 @@ func (net *Network) Position(id int) geom.Point {
 
 // Mobility returns the movement model.
 func (net *Network) Mobility() mobility.Model { return net.mob }
+
+// Medium returns the shared physical medium (nil for the ideal stack).
+// Fault injectors use it to reach fidelity-specific hooks such as the SINR
+// medium's jamming noise.
+func (net *Network) Medium() phy.Medium { return net.medium }
 
 // Range returns the nominal transmission range for neighborhood purposes.
 func (net *Network) Range() float64 {

@@ -115,12 +115,7 @@ func (n *Node) MACReceive(f *phy.Frame) {
 	if !ok {
 		return
 	}
-	if n.net.dropReceived(f.Src, n.id, pkt) {
-		return
-	}
-	if h := n.protos[pkt.Proto]; h != nil {
-		h.HandlePacket(n, pkt, f.Src)
-	}
+	n.net.deliverRx(n, f.Src, pkt, false)
 }
 
 // MACOverhear implements mac.Handler.
@@ -132,12 +127,7 @@ func (n *Node) MACOverhear(f *phy.Frame) {
 	if !ok {
 		return
 	}
-	if n.net.dropReceived(f.Src, n.id, pkt) {
-		return
-	}
-	for _, tap := range n.overhear {
-		tap(n, pkt, f.Src)
-	}
+	n.net.deliverRx(n, f.Src, pkt, true)
 }
 
 // MACSendDone implements mac.Handler.

@@ -24,15 +24,46 @@ const (
 	// CtrLossDrops counts frames discarded at a receiver by the injected
 	// per-hop loss process (Config.RxLossProb / Network.SetLossFunc).
 	CtrLossDrops
+	// CtrRxArrivals counts frames arriving at a live receiver's network
+	// layer (deliveries and overhears alike; a duplicated frame's extra
+	// copy counts as its own arrival). Together with the drop counters it
+	// closes the conservation identity the check package verifies:
+	// rxarrivals = rxdelivered + lossdrops + partitiondrops + faultdrops
+	// + pending delayed deliveries.
+	CtrRxArrivals
+	// CtrRxDelivered counts frames actually handed to the node (protocol
+	// handler dispatch or overhear taps) after all injected faults.
+	CtrRxDelivered
+	// CtrPartitionDrops counts frames discarded because sender and
+	// receiver were in different network partitions
+	// (Network.SetPartitionFunc).
+	CtrPartitionDrops
+	// CtrFaultDrops counts frames discarded by the injected link-fault
+	// process (Network.SetLinkFaultFunc): asymmetric loss, blackhole
+	// relays, jamming on the non-SINR stacks, and delayed frames whose
+	// receiver died before delivery.
+	CtrFaultDrops
+	// CtrDupes counts extra frame copies created by duplication faults.
+	CtrDupes
+	// CtrReorders counts deliveries that overtook an earlier-arrived
+	// frame on the same (sender, receiver) link — the observable effect
+	// of delay-jitter faults.
+	CtrReorders
 	numCounters
 )
 
 // counterNames renders Counter values for String().
 var counterNames = [numCounters]string{
-	CtrAppMsgs:     "msgs.app",
-	CtrRoutingMsgs: "msgs.routing",
-	CtrBeaconMsgs:  "msgs.beacon",
-	CtrLossDrops:   "msgs.lossdrops",
+	CtrAppMsgs:        "msgs.app",
+	CtrRoutingMsgs:    "msgs.routing",
+	CtrBeaconMsgs:     "msgs.beacon",
+	CtrLossDrops:      "msgs.lossdrops",
+	CtrRxArrivals:     "msgs.rxarrivals",
+	CtrRxDelivered:    "msgs.rxdelivered",
+	CtrPartitionDrops: "msgs.partitiondrops",
+	CtrFaultDrops:     "msgs.faultdrops",
+	CtrDupes:          "msgs.dupes",
+	CtrReorders:       "msgs.reorders",
 }
 
 // Latency identifies one of the fixed per-run latency accumulators.

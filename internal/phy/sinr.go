@@ -95,6 +95,27 @@ func (m *SINRMedium) Enabled(id int) bool { return m.world.enabled[id] }
 // Params returns the radio parameters in use.
 func (m *SINRMedium) Params() Params { return m.params }
 
+// SetExtraNoise sets additional ambient noise power (milliwatts) at
+// receiver id — the jamming hook. Extra noise degrades the SINR of an
+// in-progress reception (possibly corrupting it on the spot), blocks new
+// locks, and raises the sensed carrier, so DCF transmitters inside a jammed
+// region back off: a jamming burst silences the area physically rather than
+// by fiat. Pass 0 to clear.
+func (m *SINRMedium) SetExtraNoise(id int, mw float64) {
+	r := m.radios[id]
+	r.extraNoiseMw = mw
+	if r.locked != nil {
+		interference := r.totalPower() - r.locked.powerMw
+		if r.locked.powerMw/(m.noiseMw+mw+interference) < m.params.SINRCapture {
+			r.corrupted = true
+		}
+	}
+	r.updateCarrier()
+}
+
+// ExtraNoise returns the jamming noise currently injected at receiver id.
+func (m *SINRMedium) ExtraNoise(id int) float64 { return m.radios[id].extraNoiseMw }
+
 // arrival is one signal currently impinging on a radio.
 type arrival struct {
 	frame   *Frame
@@ -113,6 +134,8 @@ type sinrRadio struct {
 	locked    *arrival
 	corrupted bool
 	busy      bool // last reported carrier state
+	// extraNoiseMw is injected jamming noise added to the thermal floor.
+	extraNoiseMw float64
 }
 
 var _ Channel = (*sinrRadio)(nil)
@@ -128,7 +151,7 @@ func (r *sinrRadio) Busy() bool {
 	if m.engine.Now() < r.txUntil {
 		return true
 	}
-	return r.totalPower() >= m.csThreshMw
+	return r.totalPower()+r.extraNoiseMw >= m.csThreshMw
 }
 
 func (r *sinrRadio) totalPower() float64 {
@@ -199,7 +222,7 @@ func (r *sinrRadio) signalBegin(a *arrival) {
 		// enough at its start.
 		interference := r.totalPower() - a.powerMw
 		if a.powerMw >= m.rxThreshMw &&
-			a.powerMw/(m.noiseMw+interference) >= m.params.SINRCapture {
+			a.powerMw/(m.noiseMw+r.extraNoiseMw+interference) >= m.params.SINRCapture {
 			r.locked = a
 			r.corrupted = false
 		}
@@ -207,7 +230,7 @@ func (r *sinrRadio) signalBegin(a *arrival) {
 		// Already decoding: the newcomer is interference. If it pushes
 		// the locked signal's SINR below β, the frame is lost.
 		interference := r.totalPower() - r.locked.powerMw
-		if r.locked.powerMw/(m.noiseMw+interference) < m.params.SINRCapture {
+		if r.locked.powerMw/(m.noiseMw+r.extraNoiseMw+interference) < m.params.SINRCapture {
 			r.corrupted = true
 		}
 	}

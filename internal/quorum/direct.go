@@ -78,9 +78,18 @@ func (s *System) lookupRandom(origin int, op opID, key string) {
 	}
 	if s.cfg.SerialRandomLookup {
 		lk := s.lookups[s.resolve(op)]
+		if lk == nil || lk.finished {
+			// The op resolved (or was released) before this dispatch
+			// ran — e.g. a retry re-draw racing a late reply.
+			return
+		}
 		lk.serialTargets = members
 		lk.serialNext = 0
-		s.serialLookupStep(origin, op, key)
+		// Invalidate routing callbacks and step timeouts left over from
+		// a previous attempt: they carry the old generation and become
+		// no-ops.
+		lk.serialGen++
+		s.serialLookupStep(origin, op, key, lk.serialGen)
 		return
 	}
 	for _, m := range members {
@@ -90,14 +99,14 @@ func (s *System) lookupRandom(origin int, op opID, key string) {
 	}
 }
 
-// serialStepTimeout is how long a serial Random lookup waits per member
-// before moving on.
-const serialStepTimeout = 2.0
-
-// serialLookupStep contacts the next member of a serial Random lookup.
-func (s *System) serialLookupStep(origin int, op opID, key string) {
+// serialLookupStep contacts the next member of a serial Random lookup. gen
+// is the attempt generation the step belongs to: retries re-draw the quorum
+// on the same pending-lookup state, so routing callbacks and step timeouts
+// scheduled by an earlier attempt must become no-ops instead of advancing
+// (or re-triggering) the new attempt's progression.
+func (s *System) serialLookupStep(origin int, op opID, key string, gen int) {
 	lk := s.lookups[s.resolve(op)]
-	if lk == nil || lk.finished {
+	if lk == nil || lk.finished || lk.serialGen != gen {
 		return
 	}
 	if lk.serialNext >= len(lk.serialTargets) {
@@ -105,16 +114,18 @@ func (s *System) serialLookupStep(origin int, op opID, key string) {
 	}
 	m := lk.serialTargets[lk.serialNext]
 	lk.serialNext++
+	next := lk.serialNext
 	msg := &directMsg{Op: op, Advertise: false, Key: key}
 	pkt := s.newPacket(origin, m, msg)
 	s.routing.Send(origin, m, pkt, func(ok bool) {
 		if !ok {
-			s.serialLookupStep(origin, op, key)
+			s.serialLookupStep(origin, op, key, gen)
 		}
 	})
-	s.engine.Schedule(serialStepTimeout, func() {
-		if cur := s.lookups[s.resolve(op)]; cur != nil && !cur.finished && cur.serialNext == lk.serialNext {
-			s.serialLookupStep(origin, op, key)
+	s.engine.Schedule(s.cfg.SerialStepTimeoutSecs, func() {
+		if cur := s.lookups[s.resolve(op)]; cur != nil && !cur.finished &&
+			cur.serialGen == gen && cur.serialNext == next {
+			s.serialLookupStep(origin, op, key, gen)
 		}
 	})
 }

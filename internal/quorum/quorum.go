@@ -111,6 +111,9 @@ type Config struct {
 	// time with early halting instead of in parallel (Section 8.2's
 	// latency/cost trade-off).
 	SerialRandomLookup bool
+	// SerialStepTimeoutSecs is how long a serial Random lookup waits for
+	// each member before moving to the next (default 2).
+	SerialStepTimeoutSecs float64
 	// MaxRingTTL bounds the ExpandingRing escalation (default 7).
 	MaxRingTTL int
 	// ProbabilisticFloodAdvertise makes a Flooding advertise span the
@@ -288,9 +291,12 @@ type pendingLookup struct {
 	issued      float64
 	finished    bool
 	intersected bool
-	// serial Random lookup state
+	// serial Random lookup state. serialGen increments on every re-draw
+	// (retry) so that callbacks scheduled by an earlier attempt cannot
+	// act on a later attempt's progress.
 	serialTargets []int
 	serialNext    int
+	serialGen     int
 	// collect mode (LookupCollect): gather every reply in a window
 	// instead of finishing on the first one.
 	collect     bool
@@ -391,6 +397,9 @@ func applyDefaults(cfg *Config, n int) {
 	}
 	if cfg.LookupTimeout == 0 {
 		cfg.LookupTimeout = 30
+	}
+	if cfg.SerialStepTimeoutSecs == 0 {
+		cfg.SerialStepTimeoutSecs = 2
 	}
 	if cfg.RepairTTL == 0 {
 		cfg.RepairTTL = 3

@@ -1,0 +1,141 @@
+package quorum
+
+import (
+	"testing"
+
+	"probquorum/internal/aodv"
+	"probquorum/internal/membership"
+	"probquorum/internal/netstack"
+	"probquorum/internal/sim"
+)
+
+// stubRouter records every routed send so tests can fire the completion
+// callbacks by hand — including late, after the op has moved on.
+type stubRouter struct {
+	sends []stubSend
+}
+
+type stubSend struct {
+	src, dst int
+	done     func(ok bool)
+}
+
+func (r *stubRouter) Send(src, dst int, _ *netstack.Packet, done func(ok bool)) {
+	r.sends = append(r.sends, stubSend{src: src, dst: dst, done: done})
+}
+
+func (r *stubRouter) SendScoped(src, dst int, pkt *netstack.Packet, _ int, done func(ok bool)) {
+	r.Send(src, dst, pkt, done)
+}
+
+func (r *stubRouter) AddTransitTap(int, aodv.TransitTap) {}
+func (r *stubRouter) HasRoute(int, int) bool             { return true }
+
+// TestSerialLookupIgnoresStaleAttemptCallbacks reproduces the retry race:
+// a serial Random lookup times out and re-draws a fresh quorum, then a
+// routing callback and a step timeout from the *first* attempt fire late.
+// Both must be no-ops — without the generation guard the stale step timeout
+// (whose progress check compared the live cursor against itself) would
+// drive a second, interleaved progression through the new attempt's
+// targets.
+func TestSerialLookupIgnoresStaleAttemptCallbacks(t *testing.T) {
+	e := sim.NewEngine(3)
+	net := netstack.New(e, netstack.Config{N: 10, AvgDegree: 12, Stack: netstack.StackIdeal})
+	router := &stubRouter{}
+	members := membership.New(net, membership.Config{})
+	sys := New(net, router, members, Config{
+		AdvertiseStrategy:  Random,
+		LookupStrategy:     Random,
+		LookupSize:         3,
+		SerialRandomLookup: true,
+		LookupTimeout:      1,
+		LookupRetries:      1,
+		RetryBackoffSecs:   0.5,
+	})
+
+	resolutions := 0
+	var ref OpRef
+	e.Schedule(0, func() {
+		ref = sys.Lookup(0, "nobody-holds-this", func(LookupResult) { resolutions++ })
+	})
+
+	// t=0: attempt 1 contacts its first member and schedules a step
+	// timeout for t=2. t=1: the lookup times out; the retry re-draws at
+	// t=1.5 (attempt 2, first contact). t=2: attempt 1's stale step
+	// timeout fires — it must NOT contact anyone.
+	e.Run(2.2)
+	if len(router.sends) != 2 {
+		t.Fatalf("%d members contacted by t=2.2, want 2 (one per attempt); the stale step timeout advanced the retry's quorum", len(router.sends))
+	}
+
+	// A late routing callback from attempt 1 must not advance attempt 2.
+	lk := sys.lookups[ref.id]
+	if lk == nil {
+		t.Fatal("pending lookup missing before final timeout")
+	}
+	cursor := lk.serialNext
+	router.sends[0].done(false)
+	if lk.serialNext != cursor || len(router.sends) != 2 {
+		t.Fatalf("stale attempt-1 routing callback advanced the serial cursor (%d→%d, %d sends)",
+			cursor, lk.serialNext, len(router.sends))
+	}
+
+	// Let the retry exhaust: exactly one resolution (the miss).
+	e.Run(6)
+	if resolutions != 1 {
+		t.Fatalf("lookup resolved %d times, want exactly 1", resolutions)
+	}
+
+	// Callbacks landing after the op finished and was released must be
+	// no-ops too.
+	contacted := len(router.sends)
+	for _, s := range router.sends {
+		s.done(false)
+	}
+	e.Run(e.Now() + 5)
+	if len(router.sends) != contacted {
+		t.Fatalf("late callbacks on a finished op contacted %d more members", len(router.sends)-contacted)
+	}
+	if resolutions != 1 {
+		t.Fatalf("late callbacks re-resolved the lookup (%d resolutions)", resolutions)
+	}
+}
+
+// TestSerialStepTimeoutConfigurable verifies the promoted config knob: a
+// longer per-step timeout defers the second contact past the default 2 s.
+func TestSerialStepTimeoutConfigurable(t *testing.T) {
+	e := sim.NewEngine(3)
+	net := netstack.New(e, netstack.Config{N: 10, AvgDegree: 12, Stack: netstack.StackIdeal})
+	router := &stubRouter{}
+	members := membership.New(net, membership.Config{})
+	sys := New(net, router, members, Config{
+		AdvertiseStrategy:     Random,
+		LookupStrategy:        Random,
+		LookupSize:            3,
+		SerialRandomLookup:    true,
+		SerialStepTimeoutSecs: 5,
+		LookupTimeout:         30,
+	})
+	if got := sys.Config().SerialStepTimeoutSecs; got != 5 {
+		t.Fatalf("SerialStepTimeoutSecs = %g, want 5", got)
+	}
+	e.Schedule(0, func() { sys.Lookup(0, "k", nil) })
+	e.Run(4.9)
+	if len(router.sends) != 1 {
+		t.Fatalf("%d members contacted before the 5 s step timeout, want 1", len(router.sends))
+	}
+	e.Run(5.1)
+	if len(router.sends) != 2 {
+		t.Fatalf("%d members contacted after the step timeout, want 2", len(router.sends))
+	}
+}
+
+// TestSerialStepTimeoutDefault confirms the default stays at the historic
+// 2 s constant.
+func TestSerialStepTimeoutDefault(t *testing.T) {
+	var cfg Config
+	applyDefaults(&cfg, 100)
+	if cfg.SerialStepTimeoutSecs != 2 {
+		t.Fatalf("default SerialStepTimeoutSecs = %g, want 2", cfg.SerialStepTimeoutSecs)
+	}
+}

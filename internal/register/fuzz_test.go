@@ -1,0 +1,55 @@
+package register
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode exercises the register wire format: Decode must never panic,
+// Encode∘Decode must be a fixpoint (so a value survives any number of
+// store/merge round trips, including payloads containing the '|'
+// separator), and malformed inputs must fall back to the unversioned form
+// that foreign (non-register) values take.
+func FuzzDecode(f *testing.F) {
+	f.Add("1|2|hello")
+	f.Add("3|7|payload|with|pipes")
+	f.Add("not-a-version")
+	f.Add("")
+	f.Add("|")
+	f.Add("18446744073709551615|42|max-version")
+	f.Add("99999999999999999999|1|version-overflow")
+	f.Add("5|-3|negative-writer")
+	f.Add("5|not-an-int|bad-writer")
+	f.Add("-1|0|negative-version")
+	f.Fuzz(func(t *testing.T, s string) {
+		v := Decode(s)
+
+		// Round trip: once decoded, the value is stable under
+		// re-encoding — pipes in Data included.
+		if got := Decode(Encode(v)); got != v {
+			t.Errorf("round trip changed value: %+v → %q → %+v", v, Encode(v), got)
+		}
+
+		// Malformed inputs decode as an unversioned foreign value, never
+		// a partial parse.
+		malformed := false
+		if parts := strings.SplitN(s, "|", 3); len(parts) != 3 {
+			malformed = true
+		} else {
+			_, err1 := strconv.ParseUint(parts[0], 10, 64)
+			_, err2 := strconv.Atoi(parts[1])
+			malformed = err1 != nil || err2 != nil
+		}
+		if malformed && v != (Versioned{Data: s}) {
+			t.Errorf("malformed %q decoded to %+v, want unversioned fallback", s, v)
+		}
+
+		// Merge must accept arbitrary (possibly foreign) stored values
+		// without panicking, in either direction.
+		if out := Merge("k", s, Encode(v)); Decode(out).Less(v) {
+			t.Errorf("merge of %q regressed below %+v", s, v)
+		}
+		_ = Merge("k", Encode(v), s)
+	})
+}

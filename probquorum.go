@@ -28,8 +28,10 @@ package probquorum
 
 import (
 	"probquorum/internal/aodv"
+	"probquorum/internal/check"
 	"probquorum/internal/churn"
 	"probquorum/internal/experiment"
+	"probquorum/internal/faults"
 	"probquorum/internal/geom"
 	"probquorum/internal/membership"
 	"probquorum/internal/mobility"
@@ -81,6 +83,30 @@ const (
 
 // StackKind selects the link-layer fidelity.
 type StackKind = netstack.StackKind
+
+// Fault-injection and invariant-checking re-exports; see internal/faults
+// and internal/check.
+type (
+	// FaultEpisode is one timed fault: a partition, link fault (loss,
+	// duplication, delay jitter, blackhole) or jamming burst that starts
+	// at Start and heals after Duration.
+	FaultEpisode = faults.Episode
+	// FaultKind selects the episode's fault family.
+	FaultKind = faults.Kind
+	// CheckReport is the invariant checkers' verdict for a run; see
+	// Cluster.CheckReport.
+	CheckReport = check.Report
+)
+
+// Fault families for FaultEpisode.Kind.
+const (
+	FaultPartition = faults.Partition
+	FaultLoss      = faults.Loss
+	FaultDuplicate = faults.Duplicate
+	FaultJitter    = faults.Jitter
+	FaultBlackhole = faults.Blackhole
+	FaultJam       = faults.Jam
+)
 
 // Experiment harness re-exports; see internal/experiment.
 type (
@@ -140,6 +166,12 @@ type ClusterConfig struct {
 	// crashed nodes with volatile state cleared; with no crashes yet the
 	// join is skipped. Inspect progress with ChurnStats.
 	ChurnFailRate, ChurnJoinRate float64
+	// Faults is a schedule of fault episodes installed right after
+	// warm-up: each episode's Start is relative to the cluster being
+	// ready. Ad hoc faults can also be driven with Cluster.Partition and
+	// Cluster.Heal; CheckReport reads out the invariant checkers that are
+	// armed on every cluster.
+	Faults []FaultEpisode
 }
 
 // ChurnStats counts churn-process events; see Cluster.ChurnStats.
@@ -149,12 +181,14 @@ type ChurnStats = churn.Stats
 // the engine, stack, routing, membership and quorum layers behind a small
 // API; advance simulated time with RunFor.
 type Cluster struct {
-	engine  *sim.Engine
-	network *netstack.Network
-	routing *aodv.Routing
-	members *membership.Service
-	system  *quorum.System
-	churn   *churn.Process
+	engine   *sim.Engine
+	network  *netstack.Network
+	routing  *aodv.Routing
+	members  *membership.Service
+	system   *quorum.System
+	churn    *churn.Process
+	injector *faults.Injector
+	checks   *check.Suite
 }
 
 // NewCluster builds a cluster and warms it up (neighbor discovery and
@@ -190,11 +224,19 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	routing := aodv.New(network, aodv.Config{})
 	members := membership.New(network, membership.Config{})
 	system := quorum.New(network, routing, members, cfg.Quorum)
+	injector := faults.New(network)
+	checks := check.NewSuite(network, system)
+	checks.SetPartitionOracle(injector.Partitioned)
 	c := &Cluster{
 		engine: engine, network: network, routing: routing,
 		members: members, system: system,
+		injector: injector, checks: checks,
 	}
 	c.RunFor(25) // neighbor discovery warm-up
+	if len(cfg.Faults) > 0 {
+		// Episode starts are relative to the cluster being ready.
+		injector.Schedule(cfg.Faults)
+	}
 	if cfg.ChurnFailRate > 0 || cfg.ChurnJoinRate > 0 {
 		c.churn = churn.New(network, churn.Config{
 			FailRate: cfg.ChurnFailRate, JoinRate: cfg.ChurnJoinRate,
@@ -219,15 +261,17 @@ func (c *Cluster) Now() float64 { return c.engine.Now() }
 func (c *Cluster) N() int { return c.network.N() }
 
 // Advertise publishes key→value from node origin to an advertise quorum.
-// Advance time with RunFor for the operation to complete.
+// Advance time with RunFor for the operation to complete. The operation is
+// routed through the invariant checkers; see CheckReport.
 func (c *Cluster) Advertise(origin int, key, value string, done func(AdvertiseResult)) OpRef {
-	return c.system.Advertise(origin, key, value, done)
+	return c.checks.Advertise(origin, key, value, done)
 }
 
 // Lookup searches for key from node origin. done fires with the result
-// (possibly a timeout miss) as simulated time advances.
+// (possibly a timeout miss) as simulated time advances. The operation is
+// routed through the invariant checkers; see CheckReport.
 func (c *Cluster) Lookup(origin int, key string, done func(LookupResult)) OpRef {
-	return c.system.Lookup(origin, key, done)
+	return c.checks.Lookup(origin, key, done)
 }
 
 // LookupWait is a convenience that issues a lookup and advances time until
@@ -235,7 +279,7 @@ func (c *Cluster) Lookup(origin int, key string, done func(LookupResult)) OpRef 
 func (c *Cluster) LookupWait(origin int, key string) LookupResult {
 	var res LookupResult
 	finished := false
-	c.system.Lookup(origin, key, func(r LookupResult) { res = r; finished = true })
+	c.Lookup(origin, key, func(r LookupResult) { res = r; finished = true })
 	for !finished {
 		c.RunFor(1)
 	}
@@ -246,12 +290,37 @@ func (c *Cluster) LookupWait(origin int, key string) LookupResult {
 func (c *Cluster) AdvertiseWait(origin int, key, value string) AdvertiseResult {
 	var res AdvertiseResult
 	finished := false
-	c.system.Advertise(origin, key, value, func(r AdvertiseResult) { res = r; finished = true })
+	c.Advertise(origin, key, value, func(r AdvertiseResult) { res = r; finished = true })
 	for !finished {
 		c.RunFor(1)
 	}
 	return res
 }
+
+// ScheduleFaults installs fault episodes with Start measured from the
+// current simulated time (ClusterConfig.Faults does the same at
+// construction).
+func (c *Cluster) ScheduleFaults(episodes ...FaultEpisode) {
+	c.injector.Schedule(episodes)
+}
+
+// Partition splits the network into the given node groups: traffic between
+// different groups is dropped at the receiver until Heal. Nodes not listed
+// in any group form an implicit extra group.
+func (c *Cluster) Partition(groups ...[]int) {
+	c.injector.PartitionSets(groups)
+}
+
+// Heal removes an active partition (scheduled or ad hoc).
+func (c *Cluster) Heal() { c.injector.Heal() }
+
+// CheckReport returns the invariant checkers' verdict so far: violations
+// of the hard invariants (exactly-once resolution, no delivery to dead or
+// partitioned nodes, frame conservation) plus the probabilistic tallies.
+// Operations still in flight count as both Outstanding and an
+// "op-never-resolved" violation, so for the authoritative verdict drain
+// them first by advancing time with RunFor past the lookup timeout.
+func (c *Cluster) CheckReport() CheckReport { return c.checks.Final() }
 
 // Fail crashes a node (it stops sending, receiving and interfering).
 func (c *Cluster) Fail(id int) { c.network.Fail(id) }

@@ -206,6 +206,96 @@ func TestClusterLocationService(t *testing.T) {
 	}
 }
 
+func TestClusterPartitionAndHeal(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 80, AvgDegree: 15, Seed: 9})
+	c.AdvertiseWait(0, "k", "v")
+
+	// Split the network in half; lookups issued from one side should stop
+	// reaching replicas on the other, so the hit ratio collapses well
+	// below the fault-free design point.
+	var left, right []int
+	for id := 0; id < 80; id++ {
+		if id < 40 {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	c.Partition(left, right)
+	partHits := 0
+	for i := 0; i < 6; i++ {
+		if c.LookupWait((i*13+41)%40+40, "k").Hit {
+			partHits++
+		}
+	}
+
+	c.Heal()
+	c.RunFor(5)
+	healHits := 0
+	for i := 0; i < 6; i++ {
+		if c.LookupWait((i*13+41)%40+40, "k").Hit {
+			healHits++
+		}
+	}
+	if healHits < 4 {
+		t.Fatalf("post-heal hits %d/6; healing did not restore the quorum", healHits)
+	}
+	if partHits > healHits {
+		t.Fatalf("partitioned hits %d > healed hits %d", partHits, healHits)
+	}
+
+	rep := c.CheckReport()
+	if !rep.OK() {
+		t.Fatalf("invariant violations: %v", rep.Details)
+	}
+	if rep.Outstanding != 0 {
+		t.Fatalf("%d operations left outstanding", rep.Outstanding)
+	}
+	if rep.Lookups != 12 || rep.Advertises != 1 {
+		t.Fatalf("checker tallies off: %d lookups, %d advertises", rep.Lookups, rep.Advertises)
+	}
+}
+
+func TestClusterScheduledFaults(t *testing.T) {
+	c := NewCluster(ClusterConfig{
+		Nodes: 60, AvgDegree: 15, Seed: 10,
+		Faults: []FaultEpisode{
+			{Kind: FaultLoss, Start: 1, Duration: 8, Prob: 0.3},
+			{Kind: FaultDuplicate, Start: 2, Duration: 8, Prob: 0.3},
+		},
+	})
+	c.AdvertiseWait(0, "k", "v")
+	for i := 0; i < 5; i++ {
+		c.LookupWait((i*11 + 7) % 60, "k")
+	}
+	c.RunFor(20) // past every episode's heal time
+	rep := c.CheckReport()
+	if !rep.OK() {
+		t.Fatalf("invariant violations under scheduled faults: %v", rep.Details)
+	}
+	if rep.Lookups != 5 {
+		t.Fatalf("checker saw %d lookups, want 5", rep.Lookups)
+	}
+}
+
+func TestClusterCheckReportMidRunIsRepeatable(t *testing.T) {
+	c := NewCluster(ClusterConfig{Nodes: 40, Seed: 11})
+	c.Lookup(0, "nothing", nil)
+	// Mid-flight: the unresolved op shows up as Outstanding (and its
+	// violation entry), but asking twice must not compound the count.
+	a, b := c.CheckReport(), c.CheckReport()
+	if a.Outstanding != 1 || b.Outstanding != 1 {
+		t.Fatalf("outstanding = %d, %d; want 1, 1", a.Outstanding, b.Outstanding)
+	}
+	if a.Violations != b.Violations {
+		t.Fatalf("CheckReport not idempotent: %d then %d violations", a.Violations, b.Violations)
+	}
+	c.RunFor(30) // drain past the lookup timeout
+	if rep := c.CheckReport(); !rep.OK() || rep.Outstanding != 0 {
+		t.Fatalf("drained report not clean: %+v", rep)
+	}
+}
+
 // Golden determinism: a fixed seed must keep producing the same results
 // across refactorings (math/rand sequences are stable per Go's
 // compatibility promise). If an intentional protocol change shifts these
