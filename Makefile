@@ -1,9 +1,19 @@
 # Development targets. The repo is stdlib-only Go; everything here wraps
 # the standard toolchain.
+#
+# check is the CI gate and runs in this order:
+#   1. build — the whole tree compiles;
+#   2. lint  — pqlint's determinism invariants (fast, fails early);
+#   3. chaos — the fault-injection acceptance sweep;
+#   4. vet   — the standard toolchain's analyzers;
+#   5. race  — the short test set under the race detector, which enforces
+#              the per-engine isolation invariant (sim.TestEnginesIsolated
+#              and the parallel-vs-serial sweep determinism tests in
+#              internal/experiment run concurrent full stacks).
 
 GO ?= go
 
-.PHONY: build test check bench quick chaos
+.PHONY: build test check lint bench quick chaos
 
 build:
 	$(GO) build ./...
@@ -11,14 +21,17 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: vet plus the short test set under the race
-# detector, then the chaos acceptance sweep. The race run is what enforces
-# the per-engine isolation invariant (sim.TestEnginesIsolated and the
-# parallel-vs-serial sweep determinism tests in internal/experiment run
-# concurrent full stacks).
-check: build chaos
+check: build lint chaos
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# lint runs pqlint, the determinism- and invariant-enforcing static
+# analysis suite (internal/lint): no global math/rand, no wall clock in
+# simulation code, no order-sensitive map iteration, no exact float
+# comparison, no wall-clock-derived seeds. Suppressions are reasoned
+# //pqlint:allow directives; see DESIGN.md §8.
+lint:
+	$(GO) run ./cmd/pqlint ./...
 
 # chaos runs the fault-injection acceptance sweep: ≥50 randomized fault
 # schedules with the invariant checkers armed (skipped under -short, so it

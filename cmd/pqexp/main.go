@@ -1,3 +1,5 @@
+//pqlint:allow nowallclock(per-figure wall-clock reporting: recorded results surface perf regressions; no simulation state depends on it)
+
 // Command pqexp regenerates the paper's figures and tables.
 //
 // Usage:

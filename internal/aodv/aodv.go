@@ -13,6 +13,8 @@
 package aodv
 
 import (
+	"sort"
+
 	"probquorum/internal/netstack"
 	"probquorum/internal/sim"
 )
@@ -172,6 +174,28 @@ func New(net *netstack.Network, cfg Config) *Routing {
 		net.Node(id).Register(netstack.ProtoRouted, st.handler)
 	}
 	return r
+}
+
+// ResetNode discards node id's AODV state — the routing table, the
+// duplicate-RREQ cache, and every in-progress discovery — the state a node
+// rebooting after a crash must not retain. Pending discoveries fail (each
+// buffered packet's done callback fires with ok=false) in ascending
+// destination order: the discovery map's iteration order is randomized, so
+// the teardown walks a sorted key snapshot to keep replays bit-identical.
+// Sequence numbers survive the reset; RFC 3561 relies on them growing
+// monotonically for loop freedom.
+func (r *Routing) ResetNode(id int) {
+	st := r.nodes[id]
+	dsts := make([]int, 0, len(st.disc))
+	for dst := range st.disc {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	for _, dst := range dsts {
+		r.finishDiscovery(st, dst, false)
+	}
+	st.routes = make(map[int]*route)
+	st.seen = make(map[rreqKey]float64)
 }
 
 // AddTransitTap registers a transit observer at node id.

@@ -1,6 +1,8 @@
 package aodv
 
 import (
+	"sort"
+
 	"probquorum/internal/netstack"
 	"probquorum/internal/sim"
 )
@@ -113,7 +115,12 @@ func (r *Routing) discoveryTimeout(st *nodeState, dst int) {
 	r.broadcastRREQ(st, dst, d)
 }
 
-// finishDiscovery resolves all packets waiting on dst.
+// finishDiscovery resolves all packets waiting on dst and tears the
+// discovery down. Packets resolve in d.pending's insertion order — a
+// slice, never a map — so the per-op callback sequence is identical
+// across replays. The discovery is unhooked from st.disc before any
+// callback runs, so a done callback may immediately start a fresh
+// discovery for the same destination without touching this one's state.
 func (r *Routing) finishDiscovery(st *nodeState, dst int, ok bool) {
 	d := st.disc[dst]
 	if d == nil {
@@ -121,7 +128,9 @@ func (r *Routing) finishDiscovery(st *nodeState, dst int, ok bool) {
 	}
 	d.timer.Cancel()
 	delete(st.disc, dst)
-	for _, op := range d.pending {
+	pending := d.pending
+	d.pending = nil
+	for _, op := range pending {
 		if !ok {
 			if op.done != nil {
 				op.done(false)
@@ -245,6 +254,9 @@ func (r *Routing) linkBroken(st *nodeState, next int) {
 	if len(lost) == 0 {
 		return
 	}
+	// The routing-table map yields lost destinations in randomized order;
+	// sort so the RERR payload is identical across replays.
+	sort.Slice(lost, func(i, j int) bool { return lost[i].dst < lost[j].dst })
 	node := r.net.Node(st.id)
 	pkt := &netstack.Packet{
 		Proto: netstack.ProtoAODV, Src: st.id, Dst: netstack.Broadcast,

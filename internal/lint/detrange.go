@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRange flags `for … := range m` over a map when the loop body is
+// order-sensitive. Go randomizes map iteration order per run, so a body
+// that consumes RNG, schedules engine events, or sends packets executes
+// those effects in a different order each run — silently breaking
+// bit-identical replay. A body that only folds commutatively (counting,
+// set insertion, deleting from the same map) is fine.
+//
+// Detected order-sensitive effects, in reporting priority:
+//
+//  1. RNG draws: method calls on a *rand.Rand, or package-level rand
+//     draws.
+//  2. Scheduling/sends: calls to Schedule/At, sim.NewTimer/NewTicker,
+//     Reset on a Timer/Ticker, or protocol sends
+//     (Send*/Broadcast*/DeliverLocal/Advertise/Lookup/Locate/Publish).
+//  3. Appends to a slice declared outside the loop that is not passed to
+//     sort.*/slices.Sort* later in the same function — the
+//     collect-then-sort idiom is recognized as clean.
+//
+// "Mutates shared state keyed by iteration order" in full generality is
+// undecidable statically; effects outside these three classes must be
+// judged by the author. Benign map ranges that do trip a trigger are
+// silenced in place with //pqlint:allow detrange(reason).
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flag map iteration whose body is order-sensitive (RNG, scheduling, sends, unsorted escaping appends)",
+	Run:  runDetRange,
+}
+
+var sendMethods = map[string]bool{
+	"Send": true, "SendScoped": true, "SendOneHop": true,
+	"BroadcastOneHop": true, "DeliverLocal": true,
+	"Advertise": true, "Lookup": true, "Locate": true, "Publish": true,
+}
+
+func runDetRange(p *Pass) {
+	ast.Inspect(p.File.AST, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(p.TypeOf(rs.X)) {
+			return true
+		}
+		if reason := orderSensitive(p, rs); reason != "" {
+			p.Reportf(rs.Pos(), "map iteration order is randomized but the loop body %s; iterate sorted keys (or suppress with a reason)", reason)
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderSensitive describes the first order-sensitive effect in rs's body
+// ("" if none).
+func orderSensitive(p *Pass, rs *ast.RangeStmt) string {
+	var rng, sched string
+	var appendTargets []*ast.Ident
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if rng == "" {
+				rng = rngDraw(p, n)
+			}
+			if sched == "" {
+				sched = scheduleOrSend(p, n)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(call.Fun) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					appendTargets = append(appendTargets, id)
+				}
+			}
+		}
+		return true
+	})
+	if rng != "" {
+		return "consumes randomness (" + rng + ")"
+	}
+	if sched != "" {
+		return "schedules or sends (" + sched + ")"
+	}
+	for _, id := range appendTargets {
+		obj := p.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			continue // loop-local accumulator
+		}
+		if sortedAfter(p, rs, obj) {
+			continue // collect-then-sort idiom
+		}
+		return "appends to " + id.Name + ", which escapes unsorted"
+	}
+	return ""
+}
+
+// rngDraw reports a random draw made by call ("" if none).
+func rngDraw(p *Pass, call *ast.CallExpr) string {
+	if path, fn, ok := p.PkgFuncCall(call); ok && randPkgPaths[path] && globalRandFuncs[fn] {
+		return "rand." + fn
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	s := t.String()
+	if s == "*math/rand.Rand" || s == "*math/rand/v2.Rand" {
+		return "(*rand.Rand)." + sel.Sel.Name
+	}
+	return ""
+}
+
+// scheduleOrSend reports an engine-scheduling or packet-sending call ("" if
+// none). Method matching is by name — the repo reserves these names for
+// event-scheduling and protocol-send operations.
+func scheduleOrSend(p *Pass, call *ast.CallExpr) string {
+	if path, fn, ok := p.PkgFuncCall(call); ok {
+		if (strings.HasSuffix(path, "/sim") || path == "sim") && (fn == "NewTimer" || fn == "NewTicker") {
+			return "sim." + fn
+		}
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	if name == "Schedule" || name == "At" || sendMethods[name] {
+		return "." + name
+	}
+	if name == "Reset" || name == "Stop" {
+		if t := p.TypeOf(sel.X); t != nil {
+			s := t.String()
+			if strings.HasSuffix(s, ".Timer") || strings.HasSuffix(s, ".Ticker") {
+				return "." + name + " on " + s[strings.LastIndex(s, ".")+1:]
+			}
+		}
+	}
+	return ""
+}
+
+func isBuiltinAppend(fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// sortedAfter reports whether obj is passed to a sort call after rs within
+// the innermost function enclosing rs.
+func sortedAfter(p *Pass, rs *ast.RangeStmt, obj types.Object) bool {
+	fn := enclosingFunc(p.File.AST, rs)
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		path, fname, ok := p.PkgFuncCall(call)
+		if !ok {
+			return true
+		}
+		isSort := path == "sort" || (path == "slices" && strings.HasPrefix(fname, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentions reports whether obj is referenced anywhere in e.
+func mentions(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit body containing
+// n, or nil for package-level positions.
+func enclosingFunc(file *ast.File, n ast.Node) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(cand ast.Node) bool {
+		switch cand.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if cand.Pos() <= n.Pos() && n.End() <= cand.End() {
+				best = cand // keep innermost: later visits are nested deeper
+			}
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full grammar is
+//
+//	//pqlint:allow <analyzer>(<reason>)
+//
+// with <analyzer> a registered analyzer name and <reason> non-empty free
+// text (everything between the first '(' and the last ')'). A directive
+// written before the package clause covers the whole file; anywhere else it
+// covers findings on its own line and the line immediately below it (the
+// two idiomatic placements: trailing the offending line, or on its own
+// line directly above).
+const directivePrefix = "//pqlint:allow"
+
+// directive is one parsed suppression.
+type directive struct {
+	analyzer string
+	reason   string
+	line     int  // line the comment starts on
+	fileWide bool // true when written before the package clause
+}
+
+// directiveSet indexes a file's directives for coverage queries.
+type directiveSet struct {
+	byLine   map[int][]directive
+	fileWide []directive
+}
+
+// covers reports whether a directive for analyzer applies at line,
+// returning its reason.
+func (ds *directiveSet) covers(analyzer string, line int) (string, bool) {
+	for _, d := range ds.fileWide {
+		if d.analyzer == analyzer {
+			return d.reason, true
+		}
+	}
+	for _, d := range ds.byLine[line] {
+		if d.analyzer == analyzer {
+			return d.reason, true
+		}
+	}
+	for _, d := range ds.byLine[line-1] {
+		if d.analyzer == analyzer {
+			return d.reason, true
+		}
+	}
+	return "", false
+}
+
+// parseDirectives extracts every pqlint directive in file. Malformed
+// directives (bad grammar, empty reason, unknown analyzer) are returned as
+// findings under the reserved analyzer name "pqlint"; they cannot be
+// suppressed.
+func parseDirectives(fset *token.FileSet, file *ast.File, valid map[string]bool) (*directiveSet, []Finding) {
+	ds := &directiveSet{byLine: make(map[int][]directive)}
+	var errs []Finding
+	report := func(pos token.Pos, msg string) {
+		errs = append(errs, Finding{Analyzer: "pqlint", Pos: fset.Position(pos), Message: msg})
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+			open := strings.Index(rest, "(")
+			closing := strings.LastIndex(rest, ")")
+			if open < 0 || closing < open || closing != len(rest)-1 {
+				report(c.Pos(), "malformed directive: want //pqlint:allow analyzer(reason)")
+				continue
+			}
+			name := strings.TrimSpace(rest[:open])
+			reason := strings.TrimSpace(rest[open+1 : closing])
+			if !valid[name] {
+				report(c.Pos(), "directive names unknown analyzer "+quote(name))
+				continue
+			}
+			if reason == "" {
+				report(c.Pos(), "directive for "+name+" needs a non-empty reason")
+				continue
+			}
+			d := directive{
+				analyzer: name,
+				reason:   reason,
+				line:     fset.Position(c.Pos()).Line,
+				fileWide: c.End() < file.Package,
+			}
+			if d.fileWide {
+				ds.fileWide = append(ds.fileWide, d)
+			} else {
+				ds.byLine[d.line] = append(ds.byLine[d.line], d)
+			}
+		}
+	}
+	return ds, errs
+}
+
+// quote quotes a directive token for an error message without pulling in
+// fmt for this one call site.
+func quote(s string) string { return `"` + s + `"` }

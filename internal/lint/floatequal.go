@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEqual flags ==/!= between floating-point operands outside test
+// files. Exact float equality is almost always a latent bug in analysis
+// code (Corollary 5.3 sizing, the §6.1 decay law) where values are
+// products of transcendental functions. One documented exception is built
+// in: comparison against a literal zero, the repo's idiom for "config
+// field unset" sentinels, which is exact by construction.
+var FloatEqual = &Analyzer{
+	Name: "floatequal",
+	Doc:  "forbid ==/!= between floating-point operands (literal-zero sentinel checks exempt)",
+	Run:  runFloatEqual,
+}
+
+func runFloatEqual(p *Pass) {
+	ast.Inspect(p.File.AST, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(p.TypeOf(bin.X)) && !isFloat(p.TypeOf(bin.Y)) {
+			return true
+		}
+		if isLiteralZero(bin.X) || isLiteralZero(bin.Y) {
+			return true
+		}
+		p.Reportf(bin.Pos(), "floating-point %s comparison; compare with a tolerance (or suppress with a reason if exactness is intended)", bin.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isLiteralZero recognizes 0, 0.0, 0., .0 and their negations.
+func isLiteralZero(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		return isLiteralZero(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return false
+	}
+	s := strings.TrimLeft(lit.Value, "0.")
+	return s == "" || s == "e0" // "0", "0.0", "0.", ".0", "0e0"
+}

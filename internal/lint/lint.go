@@ -1,0 +1,235 @@
+// Package lint implements pqlint, the project's determinism- and
+// invariant-enforcing static analysis suite.
+//
+// Every figure in this reproduction is accepted by bit-identical replay
+// across seeds and worker counts (see DESIGN.md §8). That guarantee rests on
+// rules the compiler cannot check: all randomness flows from an
+// engine-seeded *rand.Rand, no simulation code reads the wall clock, and no
+// order-sensitive work hangs off Go's randomized map iteration. pqlint
+// turns those implicit rules into machine-checked ones.
+//
+// The suite is stdlib-only (go/ast, go/parser, go/token, go/types) and runs
+// as `go run ./cmd/pqlint ./...` or through TestPqlintClean. Analyzers:
+//
+//   - noglobalrand: package-level math/rand draws are forbidden
+//   - nowallclock:  time.Now/Sleep/After/Tick &c. are forbidden
+//   - detrange:     order-sensitive bodies under map iteration
+//   - floatequal:   ==/!= between floating-point operands
+//   - seedplumb:    wall-clock-derived seeds in exported constructors
+//
+// Benign violations are silenced in place with a reasoned directive:
+//
+//	//pqlint:allow analyzer(reason)
+//
+// placed on the offending line, the line above it, or — before the package
+// clause — covering the whole file. The reason is mandatory; a malformed or
+// unknown directive is itself a diagnostic (analyzer "pqlint") and cannot
+// be suppressed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Analyzer is the name of the rule that fired.
+	Analyzer string
+	// Pos locates the diagnostic.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+	// Suppressed reports whether a //pqlint:allow directive covers the
+	// finding; Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one self-contained rule.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description of the rule.
+	Doc string
+	// TestFiles runs the analyzer on _test.go files too. Test files are
+	// analyzed syntactically (no type information).
+	TestFiles bool
+	// Run reports the rule's findings for one file.
+	Run func(p *Pass)
+}
+
+// Analyzers is the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoGlobalRand,
+		NoWallClock,
+		DetRange,
+		FloatEqual,
+		SeedPlumb,
+	}
+}
+
+// AnalyzerNames returns the set of valid analyzer names (for directive
+// validation).
+func AnalyzerNames() map[string]bool {
+	names := make(map[string]bool)
+	for _, az := range Analyzers() {
+		names[az.Name] = true
+	}
+	return names
+}
+
+// Pass hands one file to an analyzer and collects its findings.
+type Pass struct {
+	// Pkg is the package being analyzed.
+	Pkg *Package
+	// File is the file under analysis.
+	File *SourceFile
+
+	analyzer string
+	findings *[]Finding
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type information is
+// unavailable (test files, or packages that failed to type-check).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf resolves id to its object, or nil without type information.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.ObjectOf(id)
+}
+
+// PkgFuncCall reports whether call is a selector call on an imported
+// package (pkg.Func(...)), returning the package's import path and the
+// function name. It prefers type information and falls back to the file's
+// import table for untyped (test) files.
+func (p *Pass) PkgFuncCall(call *ast.CallExpr) (path, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	if path := p.importedPkgPath(id); path != "" {
+		return path, sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// importedPkgPath returns the import path id refers to when id names an
+// imported package, and "" otherwise.
+func (p *Pass) importedPkgPath(id *ast.Ident) string {
+	if p.Pkg.Info != nil {
+		if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return ""
+	}
+	// Syntactic fallback (test files): match the import table by name.
+	// Local shadowing of a package name is not detected here; the repo's
+	// style never shadows import names.
+	for _, imp := range p.File.AST.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// Run executes the given analyzers over pkgs, applies suppression
+// directives, and returns all findings (suppressed ones included) sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	valid := AnalyzerNames()
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ds, derrs := parseDirectives(pkg.Fset, file.AST, valid)
+			out = append(out, derrs...)
+			var fileFindings []Finding
+			for _, az := range analyzers {
+				if file.Test && !az.TestFiles {
+					continue
+				}
+				if pkg.Example && az.Name != FloatEqual.Name {
+					// examples/ are documentation-grade demo binaries
+					// outside the simulation determinism boundary.
+					continue
+				}
+				pass := &Pass{Pkg: pkg, File: file, analyzer: az.Name, findings: &fileFindings}
+				az.Run(pass)
+			}
+			for i := range fileFindings {
+				if reason, ok := ds.covers(fileFindings[i].Analyzer, fileFindings[i].Pos.Line); ok {
+					fileFindings[i].Suppressed = true
+					fileFindings[i].Reason = reason
+				}
+			}
+			out = append(out, fileFindings...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// Unsuppressed filters findings down to the ones that fail the build.
+func Unsuppressed(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

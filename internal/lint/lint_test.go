@@ -1,0 +1,153 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"probquorum/internal/lint"
+)
+
+// loader is shared across tests so the source importer's stdlib work is
+// done once.
+var loader = lint.NewLoader()
+
+func loadFixture(t *testing.T, name string) *lint.Package {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// TestAnalyzerFixtures drives each analyzer over its fixture package:
+// positive.go must yield unsuppressed findings, clean.go none, and
+// suppressed.go only suppressed findings carrying the directive's reason.
+func TestAnalyzerFixtures(t *testing.T) {
+	wantPositives := map[string]int{
+		"noglobalrand": 2, // rand.Float64, rand.Intn
+		"nowallclock":  2, // time.Now, time.Sleep
+		"detrange":     3, // RNG draw, scheduling, escaping append
+		"floatequal":   2, // a == b, x != 0.5
+		"seedplumb":    2, // wall-clock seed, pid seed (one per constructor)
+	}
+	for _, az := range lint.Analyzers() {
+		az := az
+		t.Run(az.Name, func(t *testing.T) {
+			pkg := loadFixture(t, az.Name)
+			findings := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{az})
+			perFile := make(map[string][]lint.Finding)
+			for _, f := range findings {
+				if f.Analyzer != az.Name {
+					t.Errorf("unexpected analyzer %s in findings: %s", f.Analyzer, f)
+					continue
+				}
+				perFile[filepath.Base(f.Pos.Filename)] = append(perFile[filepath.Base(f.Pos.Filename)], f)
+			}
+
+			positives := perFile["positive.go"]
+			if got := len(lintUnsuppressed(positives)); got < wantPositives[az.Name] {
+				t.Errorf("positive.go: got %d unsuppressed findings, want >= %d: %v",
+					got, wantPositives[az.Name], positives)
+			}
+			for _, f := range positives {
+				if f.Suppressed {
+					t.Errorf("positive.go finding unexpectedly suppressed: %s", f)
+				}
+			}
+
+			if clean := perFile["clean.go"]; len(clean) > 0 {
+				t.Errorf("clean.go: unexpected findings: %v", clean)
+			}
+
+			sup := perFile["suppressed.go"]
+			if len(sup) == 0 {
+				t.Errorf("suppressed.go: want at least one (suppressed) finding, got none")
+			}
+			for _, f := range sup {
+				if !f.Suppressed {
+					t.Errorf("suppressed.go finding not suppressed: %s", f)
+				}
+				if strings.TrimSpace(f.Reason) == "" {
+					t.Errorf("suppressed.go finding has empty reason: %s", f)
+				}
+			}
+
+			// Analyzers that skip test files must stay silent on them.
+			if !az.TestFiles {
+				for name, fs := range perFile {
+					if strings.HasSuffix(name, "_test.go") && len(fs) > 0 {
+						t.Errorf("%s: findings in test file despite exemption: %v", name, fs)
+					}
+				}
+			}
+		})
+	}
+}
+
+func lintUnsuppressed(fs []lint.Finding) []lint.Finding { return lint.Unsuppressed(fs) }
+
+// TestDirectiveErrors checks that malformed, reason-less, and
+// unknown-analyzer directives are themselves diagnostics and cannot be
+// suppressed.
+func TestDirectiveErrors(t *testing.T) {
+	pkg := loadFixture(t, "directive")
+	findings := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	var pqlint []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == "pqlint" {
+			pqlint = append(pqlint, f)
+		}
+	}
+	if len(pqlint) != 3 {
+		t.Fatalf("want 3 directive diagnostics, got %d: %v", len(pqlint), pqlint)
+	}
+	wants := []string{"malformed directive", "needs a non-empty reason", "unknown analyzer"}
+	for _, want := range wants {
+		found := false
+		for _, f := range pqlint {
+			if strings.Contains(f.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no directive diagnostic mentioning %q in %v", want, pqlint)
+		}
+	}
+	for _, f := range pqlint {
+		if f.Suppressed {
+			t.Errorf("directive diagnostic must not be suppressible: %s", f)
+		}
+	}
+}
+
+// TestPqlintClean runs the full suite over the repository and asserts zero
+// unsuppressed diagnostics, so CI fails the moment a determinism
+// regression lands (make lint enforces the same gate standalone).
+func TestPqlintClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("module walk found only %d packages; loader is missing the tree", len(pkgs))
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range lint.Unsuppressed(findings) {
+		t.Errorf("%s", f)
+	}
+	// Suppressions must keep carrying their reasons.
+	for _, f := range findings {
+		if f.Suppressed && strings.TrimSpace(f.Reason) == "" {
+			t.Errorf("suppressed without reason: %s", f)
+		}
+	}
+}

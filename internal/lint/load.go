@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SourceFile is one parsed file of a package.
+type SourceFile struct {
+	// Name is the file's path as given to the parser.
+	Name string
+	// AST is the parsed file, with comments.
+	AST *ast.File
+	// Test marks _test.go files, which are analyzed without types.
+	Test bool
+}
+
+// Package is one loaded, parsed, and (best-effort) type-checked package.
+type Package struct {
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Dir is the package's directory.
+	Dir string
+	// Fset is the file set all positions resolve against.
+	Fset *token.FileSet
+	// Files holds the package's files; test files come after non-test
+	// files and carry no type information.
+	Files []*SourceFile
+	// Info holds type information for the non-test files, or nil when
+	// type-checking failed outright.
+	Info *types.Info
+	// TypeErrors collects type-checker diagnostics. Analysis proceeds on
+	// partial information; a tree that builds with `go build` is clean.
+	TypeErrors []error
+	// Example marks packages under examples/, which sit outside the
+	// simulation determinism boundary.
+	Example bool
+}
+
+// Loader parses and type-checks packages with a shared file set and source
+// importer, so stdlib and intra-module dependencies are resolved once.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader. The source importer resolves imports —
+// including intra-module ones — by type-checking from source, so the
+// loader needs no pre-built export data; the process's working directory
+// must be inside the module for module-local import paths to resolve.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// LoadModule loads every package under the module rooted at root,
+// skipping testdata, hidden, and VCS directories.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.loadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no Go files
+		}
+		pkg.Example = rel == "examples" || strings.HasPrefix(rel, "examples"+string(filepath.Separator))
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir (used for analyzer fixtures).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	pkg, err := l.loadDir(dir, "fixture/"+filepath.Base(dir))
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+// loadDir parses dir's Go files into one package and type-checks the
+// non-test files. It returns (nil, nil) when dir holds no Go files.
+func (l *Loader) loadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.fset}
+	var typed []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	// Non-test files first (they form the type-checked unit), then tests.
+	for _, pass := range []bool{false, true} {
+		for _, name := range names {
+			isTest := strings.HasSuffix(name, "_test.go")
+			if isTest != pass {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Files = append(pkg.Files, &SourceFile{Name: path, AST: f, Test: isTest})
+			if !isTest {
+				typed = append(typed, f)
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	if len(typed) > 0 {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: l.imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		// Check fills info as far as it gets even on error; partial
+		// information degrades analyzers gracefully rather than failing
+		// the lint run.
+		_, _ = conf.Check(importPath, l.fset, typed, info)
+		pkg.Info = info
+	}
+	return pkg, nil
+}

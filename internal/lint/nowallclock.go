@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the time package functions that observe or wait on
+// the wall clock. Pure constructors and conversions (time.Duration,
+// time.Unix, time.Date) are allowed: they are deterministic.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+	"Since": true, "Until": true,
+}
+
+// NoWallClock forbids wall-clock reads in simulation code. Simulated time
+// is Engine.Now; real time differs per host and per run, so any wall-clock
+// dependence breaks replay. Wall-clock timing is legal only in experiment
+// reporting (per-figure wall clock in cmd/pqexp), allow-listed per file
+// with a file-wide //pqlint:allow nowallclock(reason) directive before the
+// package clause.
+var NoWallClock = &Analyzer{
+	Name:      "nowallclock",
+	Doc:       "forbid time.Now/Sleep/After/Tick in simulation code; simulated time is Engine.Now",
+	TestFiles: true,
+	Run:       runNoWallClock,
+}
+
+func runNoWallClock(p *Pass) {
+	ast.Inspect(p.File.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, fn, ok := p.PkgFuncCall(call)
+		if !ok || path != "time" || !wallClockFuncs[fn] {
+			return true
+		}
+		p.Reportf(call.Pos(), "time.%s reads the wall clock; simulation code must use the engine's clock (Engine.Now / Schedule)", fn)
+		return true
+	})
+}

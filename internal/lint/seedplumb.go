@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// randConstructors are the math/rand{,/v2} source constructors whose seed
+// argument seedplumb inspects.
+var randConstructors = map[string]bool{
+	"NewSource": true, "New": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// SeedPlumb forbids nondeterministic seed construction inside exported
+// constructors. A constructor that builds
+// rand.New(rand.NewSource(time.Now().UnixNano())) — or seeds from
+// os.Getpid() — silently detaches a subsystem from the engine's seed
+// plumbing: runs stop replaying even though every call site looks clean.
+// Seeds must arrive through the config/constructor parameters, ultimately
+// from sim.NewEngine or Engine.NewStream.
+var SeedPlumb = &Analyzer{
+	Name: "seedplumb",
+	Doc:  "forbid wall-clock- or pid-derived seeds in exported constructors; plumb seeds from the engine",
+	Run:  runSeedPlumb,
+}
+
+func runSeedPlumb(p *Pass) {
+	for _, decl := range p.File.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, fn, ok := p.PkgFuncCall(call)
+			if !ok || !randPkgPaths[path] || !randConstructors[fn] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if culprit := nondeterministicCall(p, arg); culprit != "" {
+					p.Reportf(call.Pos(), "rand.%s seeded from %s in exported %s; plumb a deterministic seed through the constructor (engine seed or Engine.NewStream)", fn, culprit, fd.Name.Name)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// nondeterministicCall reports the first wall-clock or pid call in e's
+// subtree ("" if none).
+func nondeterministicCall(p *Pass, e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, fn, ok := p.PkgFuncCall(call)
+		if !ok {
+			return true
+		}
+		switch {
+		case path == "time":
+			found = "time." + fn
+		case path == "os" && fn == "Getpid":
+			found = "os.Getpid"
+		}
+		return found == ""
+	})
+	return found
+}

@@ -1,0 +1,44 @@
+package fixture
+
+import "sort"
+
+// count folds commutatively; order cannot matter.
+func count(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// evict deletes from the map being iterated; the surviving set is
+// order-independent.
+func evict(m map[int]bool) {
+	for k, keep := range m {
+		if !keep {
+			delete(m, k)
+		}
+	}
+}
+
+// loopLocal appends only to a slice scoped inside the loop body.
+func loopLocal(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		doubled = append(doubled, vs...)
+		n += len(doubled)
+	}
+	return n
+}

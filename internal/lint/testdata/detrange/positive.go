@@ -1,0 +1,34 @@
+package fixture
+
+import "math/rand"
+
+// drawPerKey consumes RNG under map iteration: the draws land on keys in a
+// different order each run.
+func drawPerKey(m map[int]int, rng *rand.Rand) int {
+	total := 0
+	for id := range m {
+		total += id * rng.Intn(10)
+	}
+	return total
+}
+
+// engine stands in for the sim engine's scheduling surface.
+type engine struct{}
+
+func (engine) Schedule(delay float64, fn func()) {}
+
+// scheduleAll schedules engine events in map order.
+func scheduleAll(m map[int]func(), e engine) {
+	for _, fn := range m {
+		e.Schedule(0, fn)
+	}
+}
+
+// collect lets map order escape through an unsorted slice.
+func collect(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

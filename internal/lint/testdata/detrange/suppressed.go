@@ -1,0 +1,14 @@
+package fixture
+
+// union collects map keys whose downstream use is order-insensitive (a set
+// membership test), documented with a reasoned suppression.
+func union(a, b map[int]bool) []int {
+	var out []int
+	//pqlint:allow detrange(fixture: consumer treats out as an unordered set)
+	for k := range a {
+		if b[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package fixture
+
+// malformed exercises every directive error path; each comment below is a
+// diagnostic under the reserved "pqlint" analyzer.
+func malformed() int {
+	//pqlint:allow floatequal
+	x := 1
+	//pqlint:allow floatequal()
+	x++
+	//pqlint:allow nosuchanalyzer(reason text)
+	return x
+}

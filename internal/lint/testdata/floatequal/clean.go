@@ -1,0 +1,19 @@
+package fixture
+
+import "math"
+
+// unset is the repo's config-sentinel idiom: comparison against a literal
+// zero is exact by construction and exempt.
+func unset(epsilon float64) bool {
+	return epsilon == 0
+}
+
+// within compares with a tolerance: the sanctioned form.
+func within(a, b, tol float64) bool {
+	return math.Abs(a-b) < tol
+}
+
+// intEqual is not a float comparison at all.
+func intEqual(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,7 @@
+package fixture
+
+// Test files are exempt from floatequal: assertions legitimately compare
+// recorded floats exactly.
+func assertEqual(got, want float64) bool {
+	return got == want
+}

@@ -1,0 +1,12 @@
+package fixture
+
+// sameProbability compares two computed floats exactly: the violation.
+func sameProbability(a, b float64) bool {
+	return a == b
+}
+
+// notHalf compares against a non-zero literal, which is still inexact for
+// computed operands.
+func notHalf(x float64) bool {
+	return x != 0.5
+}

@@ -1,0 +1,8 @@
+package fixture
+
+// exactCopy checks that a value round-tripped bit-exactly, where exact
+// comparison is the point.
+func exactCopy(stored, loaded float64) bool {
+	//pqlint:allow floatequal(fixture: round-trip check wants bit equality)
+	return stored == loaded
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import "math/rand"
+
+// jitter draws from the process-global source: the violation under test.
+func jitter() float64 {
+	return rand.Float64() * 0.01
+}
+
+// pick compounds it with a second global draw.
+func pick(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand"
+
+// shuffleGlobal is a suppressed violation with a reasoned directive.
+func shuffleGlobal(xs []int) {
+	//pqlint:allow noglobalrand(fixture: demonstrates a reasoned suppression)
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "time"
+
+// toDuration converts simulated seconds to a time.Duration; pure
+// conversions never touch the wall clock.
+func toDuration(secs float64) time.Duration {
+	return time.Duration(secs * float64(time.Second))
+}

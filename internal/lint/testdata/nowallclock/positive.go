@@ -1,0 +1,13 @@
+package fixture
+
+import "time"
+
+// stamp reads the wall clock: the violation under test.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// wait blocks on real time.
+func wait() {
+	time.Sleep(10 * time.Millisecond)
+}

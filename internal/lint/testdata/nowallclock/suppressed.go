@@ -1,0 +1,15 @@
+//pqlint:allow nowallclock(fixture: file-wide allow-listing, the mechanism reporting code in cmd/pqexp uses)
+
+// suppressed.go exercises the file-wide directive form: written before the
+// package clause, one directive covers every finding in the file.
+package fixture
+
+import "time"
+
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+func begin() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+package fixture
+
+import "math/rand"
+
+// NewPlumbed seeds from the config: the sanctioned idiom.
+func NewPlumbed(cfg Config) *Thing {
+	return &Thing{rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// NewFromStream accepts an engine-derived stream directly.
+func NewFromStream(rng *rand.Rand) *Thing {
+	return &Thing{rng: rng}
+}

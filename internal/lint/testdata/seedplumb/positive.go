@@ -1,0 +1,29 @@
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Config carries the constructor's parameters, including the seed that
+// should have been used.
+type Config struct {
+	Seed int64
+}
+
+// Thing is the constructed subsystem.
+type Thing struct {
+	rng *rand.Rand
+}
+
+// NewThing ignores the plumbed seed and derives one from the wall clock:
+// the violation under test.
+func NewThing(cfg Config) *Thing {
+	return &Thing{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}
+
+// NewPidThing seeds from the process id, equally unreproducible.
+func NewPidThing(cfg Config) *Thing {
+	return &Thing{rng: rand.New(rand.NewSource(int64(os.Getpid())))}
+}

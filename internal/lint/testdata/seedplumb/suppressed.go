@@ -1,0 +1,12 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// NewSuppressed documents a deliberate wall-clock seed with a reason.
+func NewSuppressed(cfg Config) *Thing {
+	//pqlint:allow seedplumb(fixture: demonstrates a reasoned suppression)
+	return &Thing{rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+}

@@ -14,6 +14,7 @@ package locservice
 
 import (
 	"fmt"
+	"sort"
 
 	"probquorum/internal/analysis"
 	"probquorum/internal/netstack"
@@ -129,6 +130,23 @@ func (s *Service) Publish(id int) {
 func (s *Service) Unpublish(id int) {
 	if t, ok := s.tickers[id]; ok {
 		t.Stop()
+		delete(s.tickers, id)
+	}
+}
+
+// Stop halts every publisher's refresh ticker — service teardown at the
+// end of a scenario. The ticker map's iteration order is randomized, so
+// the teardown walks a sorted key snapshot; each Stop cancels an engine
+// event, and replays stay bit-identical only if those cancellations happen
+// in a fixed order.
+func (s *Service) Stop() {
+	ids := make([]int, 0, len(s.tickers))
+	for id := range s.tickers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s.tickers[id].Stop()
 		delete(s.tickers, id)
 	}
 }

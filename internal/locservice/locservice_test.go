@@ -167,3 +167,33 @@ func TestMovingTargetLocationUpdates(t *testing.T) {
 		t.Fatalf("stale location %q after refresh", got.Location)
 	}
 }
+
+func TestStopHaltsAllRefreshers(t *testing.T) {
+	e, _, s := testWorld(6, 80, Config{
+		Epsilon: 0.1, MinIntersection: 0.85, ChurnPerSecond: 0.01,
+		MinRefreshSecs: 5,
+	})
+	for _, id := range []int{9, 3, 41, 17, 28} {
+		s.Publish(id)
+	}
+	e.Run(e.Now() + 20)
+	if s.Refreshes == 0 {
+		t.Fatal("no refreshes before Stop")
+	}
+	count := s.Refreshes
+	s.Stop()
+	s.Stop() // idempotent on an empty ticker map
+	if n := len(s.tickers); n != 0 {
+		t.Fatalf("ticker map should be empty after Stop, has %d entries", n)
+	}
+	e.Run(e.Now() + 60)
+	if s.Refreshes != count {
+		t.Fatalf("refreshes continued after Stop: %d → %d", count, s.Refreshes)
+	}
+	// Publishing after Stop restarts refreshing from scratch.
+	s.Publish(3)
+	e.Run(e.Now() + 20)
+	if s.Refreshes == count {
+		t.Fatal("Publish after Stop should resume refreshing")
+	}
+}

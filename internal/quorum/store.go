@@ -51,7 +51,10 @@ func (st *Store) Owner(key string) bool { return st.entries[key].owner }
 func (st *Store) Delete(key string) { delete(st.entries, key) }
 
 // EvictBystanders drops every cached (non-owner) entry, modelling a node
-// running low on memory (Section 7.1).
+// running low on memory (Section 7.1). Map iteration order is fine here
+// (pqlint detrange audit): deleting from the map being iterated leaves the
+// same surviving set whatever the order, and nothing else observes the
+// walk.
 func (st *Store) EvictBystanders() {
 	for k, e := range st.entries {
 		if !e.owner {
@@ -63,7 +66,9 @@ func (st *Store) EvictBystanders() {
 // Len returns the number of stored mappings.
 func (st *Store) Len() int { return len(st.entries) }
 
-// OwnedLen returns the number of mappings held as owner.
+// OwnedLen returns the number of mappings held as owner. A commutative
+// fold over the map: order-insensitive by construction (pqlint detrange
+// audit).
 func (st *Store) OwnedLen() int {
 	n := 0
 	for _, e := range st.entries {

@@ -53,6 +53,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//pqlint:allow floatequal(exact tie detection is the point: equal times fall through to FIFO seq ordering)
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
