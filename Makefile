@@ -13,7 +13,7 @@
 
 GO ?= go
 
-.PHONY: build test check lint bench quick chaos
+.PHONY: build test check lint bench bench-sweep quick chaos
 
 build:
 	$(GO) build ./...
@@ -39,8 +39,21 @@ lint:
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./internal/experiment
 
-# bench surfaces the parallel sweep executor's scaling on this machine.
+# bench runs the full benchmark suite (figure pipelines, substrate
+# micro-benchmarks, ablations) with allocation reporting and converts the
+# output into the committed benchmark trajectory BENCH.json (ns/op, B/op,
+# allocs/op, custom metrics per benchmark). Compare against the committed
+# file to spot perf or allocation regressions. Takes a few minutes: the
+# default benchtime is what lets the pooled hot paths reach their
+# steady-state (zero-alloc) numbers — CI's smoke step runs the same suite
+# at -benchtime=1x as a cheap does-it-run gate.
 bench:
+	$(GO) test -bench=. -benchmem -run='^$$' . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) run ./cmd/benchjson -out BENCH.json < bench.out
+	rm -f bench.out
+
+# bench-sweep surfaces only the parallel sweep executor's scaling.
+bench-sweep:
 	$(GO) test -bench=BenchmarkParallelSweep -benchtime=1x -run='^$$' .
 
 # quick regenerates the recorded quick-profile results (with per-figure

@@ -44,6 +44,7 @@ func reportTables(b *testing.B, tables []experiment.Table) {
 }
 
 func BenchmarkFig03StrategyTable(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := experiment.Fig3()
 		if len(t.Rows) != 4 {
@@ -54,6 +55,7 @@ func BenchmarkFig03StrategyTable(b *testing.B) {
 
 func BenchmarkFig04PartialCoverTime(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables := experiment.Fig4(p, int64(i)+1)
 		reportTables(b, tables)
@@ -62,6 +64,7 @@ func BenchmarkFig04PartialCoverTime(b *testing.B) {
 
 func BenchmarkFig05FloodingCoverage(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables := experiment.Fig5(p, int64(i)+1)
 		reportTables(b, tables)
@@ -69,6 +72,7 @@ func BenchmarkFig05FloodingCoverage(b *testing.B) {
 }
 
 func BenchmarkFig06MixTable(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := experiment.Fig6()
 		if len(t.Rows) < 6 {
@@ -78,6 +82,7 @@ func BenchmarkFig06MixTable(b *testing.B) {
 }
 
 func BenchmarkFig07Degradation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig7())
 	}
@@ -85,6 +90,7 @@ func BenchmarkFig07Degradation(b *testing.B) {
 
 func BenchmarkFig08RandomAdvertise(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig8(p, int64(i)+1))
 	}
@@ -92,6 +98,7 @@ func BenchmarkFig08RandomAdvertise(b *testing.B) {
 
 func BenchmarkFig09RandomOpt(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig9(p, int64(i)+1))
 	}
@@ -99,6 +106,7 @@ func BenchmarkFig09RandomOpt(b *testing.B) {
 
 func BenchmarkFig10UniquePathLookup(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	var hit float64
 	for i := 0; i < b.N; i++ {
 		tables := experiment.Fig10(p, int64(i)+1)
@@ -117,6 +125,7 @@ func BenchmarkFig10UniquePathLookup(b *testing.B) {
 
 func BenchmarkFig11FloodingLookup(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig11(p, int64(i)+1))
 	}
@@ -124,6 +133,7 @@ func BenchmarkFig11FloodingLookup(b *testing.B) {
 
 func BenchmarkFig12PathPath(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig12(p, int64(i)+1))
 	}
@@ -131,6 +141,7 @@ func BenchmarkFig12PathPath(b *testing.B) {
 
 func BenchmarkFig13MobilityNoRepair(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig13(p, int64(i)+1))
 	}
@@ -138,6 +149,7 @@ func BenchmarkFig13MobilityNoRepair(b *testing.B) {
 
 func BenchmarkFig14MobilityRepair(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig14(p, int64(i)+1))
 	}
@@ -145,6 +157,7 @@ func BenchmarkFig14MobilityRepair(b *testing.B) {
 
 func BenchmarkFig15StrategyComparison(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig15(p, int64(i)+1))
 	}
@@ -152,6 +165,7 @@ func BenchmarkFig15StrategyComparison(b *testing.B) {
 
 func BenchmarkFig16Summary(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		reportTables(b, experiment.Fig16(p, int64(i)+1))
 	}
@@ -161,6 +175,7 @@ func BenchmarkFig16Summary(b *testing.B) {
 
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	e := sim.NewEngine(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Schedule(1, func() {})
@@ -172,6 +187,7 @@ func BenchmarkRGGConstruction(b *testing.B) {
 	e := sim.NewEngine(1)
 	rng := e.NewStream()
 	side := geom.AreaSide(800, 200, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g, _ := graph.NewRGG(rng, 800, 200, side, geom.Torus{Side: side})
@@ -187,6 +203,7 @@ func BenchmarkRandomWalkStep(b *testing.B) {
 	side := geom.AreaSide(400, 200, 10)
 	g, _ := graph.NewRGG(rng, 400, 200, side, geom.Torus{Side: side})
 	w := graph.NewWalker(g, rng, graph.SimpleWalk, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Step()
@@ -201,11 +218,42 @@ func BenchmarkSINRBroadcast(b *testing.B) {
 	m := phy.NewSINRMedium(e, phy.SINRConfig{
 		N: 200, Side: side, Pos: func(id int) geom.Point { return pts[id] },
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := &phy.Frame{Src: i % 200, Dst: phy.Broadcast, Bytes: 512, Rate: 2e6}
 		m.Channel(i % 200).Transmit(f)
 		e.Run(e.Now() + 0.01)
+	}
+}
+
+func BenchmarkDiskBroadcast(b *testing.B) {
+	e := sim.NewEngine(1)
+	rng := e.NewStream()
+	side := geom.AreaSide(200, 200, 10)
+	pts := geom.UniformPoints(rng, 200, side)
+	m := phy.NewDiskMedium(e, phy.DiskConfig{
+		N: 200, Side: side, Pos: func(id int) geom.Point { return pts[id] },
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &phy.Frame{Src: i % 200, Dst: phy.Broadcast, Bytes: 512, Rate: 2e6}
+		m.Channel(i % 200).Transmit(f)
+		e.Run(e.Now() + 0.01)
+	}
+}
+
+// BenchmarkTimerRearm measures the armed-timer Reset fast path (in-place
+// heap fix, no allocation) that heartbeat and protocol timeouts sit on.
+func BenchmarkTimerRearm(b *testing.B) {
+	e := sim.NewEngine(1)
+	t := sim.NewTimer(e, func() {})
+	t.Reset(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(100)
 	}
 }
 
@@ -215,6 +263,7 @@ func BenchmarkDCFUnicastHop(b *testing.B) {
 		Advertisements: 1, Lookups: 1, LookupNodes: 1,
 	}
 	sc.Quorum = quorum.DefaultConfig(50)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		experiment.Run(sc)
@@ -224,6 +273,7 @@ func BenchmarkDCFUnicastHop(b *testing.B) {
 func BenchmarkClusterLookup(b *testing.B) {
 	c := NewCluster(ClusterConfig{Nodes: 100, Seed: 1})
 	c.AdvertiseWait(0, "k", "v")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.LookupWait(i%100, "k")
@@ -236,6 +286,7 @@ func BenchmarkClusterLookup(b *testing.B) {
 // toggled and reports hit ratio and msgs/lookup.
 func ablationScenario(b *testing.B, mutate func(*quorum.Config)) {
 	p := benchProfile()
+	b.ReportAllocs()
 	var last experiment.Result
 	for i := 0; i < b.N; i++ {
 		sc := experiment.Scenario{
@@ -286,6 +337,7 @@ func BenchmarkAblationLocalRepairOff(b *testing.B) {
 
 // BenchmarkSizingSweep exercises the sizing math across the paper's range.
 func BenchmarkSizingSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for n := 50; n <= 800; n *= 2 {
 			for _, eps := range []float64{0.05, 0.1, 0.2} {
@@ -302,6 +354,7 @@ func BenchmarkSizingSweep(b *testing.B) {
 // stable for the default configuration.
 func BenchmarkDefaultMixHitRatio(b *testing.B) {
 	p := benchProfile()
+	b.ReportAllocs()
 	var sum float64
 	for i := 0; i < b.N; i++ {
 		sc := experiment.Scenario{
@@ -330,6 +383,7 @@ func BenchmarkRoutingCostOracle(b *testing.B) {
 }
 
 func benchRoutingCost(b *testing.B, oracle bool) {
+	b.ReportAllocs()
 	var last experiment.Result
 	for i := 0; i < b.N; i++ {
 		sc := experiment.Scenario{
@@ -369,6 +423,7 @@ func BenchmarkParallelSweep(b *testing.B) {
 	}
 	for _, workers := range pools {
 		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := experiment.RunSweep(context.Background(), sw, workers)
 				if err != nil || len(res) != len(scs) {

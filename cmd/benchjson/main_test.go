@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSINRBroadcast-8   \t 88583\t     13108 ns/op\t      76 B/op\t       1 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkSINRBroadcast" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 88583 || r.NsPerOp != 13108 {
+		t.Fatalf("iters/ns = %d/%g", r.Iterations, r.NsPerOp)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 76 || r.AllocsPerOp == nil || *r.AllocsPerOp != 1 {
+		t.Fatalf("benchmem fields = %v/%v", r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkDefaultMixHitRatio-4   3   52000000 ns/op   0.91 hit-ratio   120 B/op   2 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Metrics["hit-ratio"] != 0.91 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFig03StrategyTable",          // progress line, no fields
+		"Benchmark bad iteration count ns/op",  // malformed
+		"BenchmarkNoUnits-8   100   12345",     // no ns/op pair
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q should not parse", line)
+		}
+	}
+}
+
+func TestRunWritesJSONAndEchoes(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+goarch: amd64
+pkg: probquorum
+cpu: Test CPU @ 2.00GHz
+BenchmarkEngineScheduleRun-8   	41683408	        27.21 ns/op	       0 B/op	       0 allocs/op
+PASS
+`)
+	var echo strings.Builder
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(in, &echo, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(echo.String(), "BenchmarkEngineScheduleRun-8") {
+		t.Error("input not echoed to stdout")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"goos": "linux"`, `"name": "BenchmarkEngineScheduleRun"`, `"ns_per_op": 27.21`, `"allocs_per_op": 0`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("BENCH.json missing %s; got:\n%s", want, data)
+		}
+	}
+}
+
+func TestRunErrorsOnEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run(strings.NewReader("no benchmarks here\n"), &strings.Builder{}, out); err == nil {
+		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}

@@ -22,6 +22,9 @@
 // bit-for-bit identical at any parallelism. Each figure prints its wall
 // clock and the effective parallelism so recorded results surface perf
 // regressions.
+//
+// -cpuprofile and -memprofile write pprof profiles (CPU over the whole run,
+// heap after the last figure) for `go tool pprof`; see DESIGN.md §9.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -52,11 +56,38 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "sweep worker-pool size (independent runs in flight at once)")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering every figure run to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile taken after all figures to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("no figure given; try: pqexp fig10  (or: pqexp all)")
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pqexp: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects so live-heap numbers are accurate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pqexp: memprofile:", err)
+			}
+		}()
 	}
 
 	p := experiment.Quick()

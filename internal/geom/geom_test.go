@@ -219,3 +219,24 @@ func TestGridBoundaryPoints(t *testing.T) {
 		t.Fatalf("Count = %d", g.Count())
 	}
 }
+
+func TestGridMaxQueryRadius(t *testing.T) {
+	const n = 50
+	const side = 100.0
+	g := NewGrid(n, side, 10)
+	if got, want := g.MaxQueryRadius(), side*math.Sqrt2; got != want {
+		t.Fatalf("MaxQueryRadius = %g, want area diameter %g", got, want)
+	}
+	// At the area diameter, a query from any in-area point — including the
+	// far corner — must return every indexed id: it is the "no radius
+	// limit" sentinel.
+	rng := rand.New(rand.NewSource(4))
+	for i, p := range UniformPoints(rng, n, side) {
+		g.Update(i, p)
+	}
+	for _, from := range []Point{{0, 0}, {side, side}, {side / 2, side / 2}, {0, side}} {
+		if got := g.Within(from, g.MaxQueryRadius(), nil); len(got) != n {
+			t.Fatalf("Within(%v, MaxQueryRadius) = %d ids, want all %d", from, len(got), n)
+		}
+	}
+}

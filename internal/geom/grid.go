@@ -123,6 +123,10 @@ func (g *Grid) Count() int {
 	return n
 }
 
-// MaxQueryRadius returns the largest radius that still benefits from the
-// index (beyond ~half the side everything is scanned anyway).
+// MaxQueryRadius returns the diameter of the indexed area (side·√2). A
+// Query at or beyond this radius from any in-area point covers every cell,
+// so it degenerates to a full scan and always returns all present ids;
+// callers can use it as a "no radius limit" sentinel. Queries stop gaining
+// from the index well before this — beyond ~half the side most cells are
+// visited anyway.
 func (g *Grid) MaxQueryRadius() float64 { return g.side * math.Sqrt2 }

@@ -38,6 +38,12 @@ type DCF struct {
 	timer       *sim.Timer
 	ackTimer    *sim.Timer
 	promiscuous bool
+	// txDoneFn completes the in-flight head-of-line transmission; built
+	// once so transmitHead does not allocate a closure per frame. The
+	// queue head cannot change between transmitHead and the callback
+	// (only finishHead pops, and only from later states), so it is
+	// always the transmitted frame.
+	txDoneFn func()
 
 	// duplicate detection: highest delivered MAC seq per source.
 	lastSeq map[int]uint32
@@ -60,6 +66,7 @@ func NewDCF(engine *sim.Engine, cfg Config, id int, m phy.Medium, rng *rand.Rand
 	}
 	d.timer = sim.NewTimer(engine, d.timerFired)
 	d.ackTimer = sim.NewTimer(engine, d.ackTimeout)
+	d.txDoneFn = func() { d.txDone(d.queue[0]) }
 	d.channel.SetHandler(d)
 	return d
 }
@@ -176,7 +183,7 @@ func (d *DCF) transmitHead() {
 	}
 	dur := d.channel.TxDuration(f)
 	d.channel.Transmit(f)
-	d.engine.Schedule(dur, func() { d.txDone(f) })
+	d.engine.Schedule(dur, d.txDoneFn)
 }
 
 func (d *DCF) txDone(f *phy.Frame) {

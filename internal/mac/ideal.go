@@ -27,6 +27,10 @@ type IdealNet struct {
 	rng     *rand.Rand
 	macs    []*IdealMAC
 	enabled []bool
+	// flightFree recycles the per-send delivery callbacks: Send pops one
+	// and fire pushes it back, so steady-state sending does not allocate
+	// a closure per frame (DESIGN.md §9).
+	flightFree []*flight
 
 	// LossProb is an optional per-frame independent loss probability for
 	// unicast data frames (after which MAC retries are modelled: a frame
@@ -108,7 +112,40 @@ func (m *IdealMAC) Send(f *phy.Frame) {
 	}
 	air := f.AirTime(192e-6) + in.cfg.DIFS + in.HopDelay
 	m.pending++
-	in.engine.Schedule(air, func() { m.deliver(f) })
+	in.engine.Schedule(air, in.newFlight(m, f).fn)
+}
+
+// flight is one frame in the air: a pooled (mac, frame) pair whose fn —
+// built once per pooled object — delivers the frame, replacing the
+// per-send `func() { m.deliver(f) }` closure.
+type flight struct {
+	net *IdealNet
+	mac *IdealMAC
+	f   *phy.Frame
+	fn  func()
+}
+
+func (in *IdealNet) newFlight(m *IdealMAC, f *phy.Frame) *flight {
+	var fl *flight
+	if n := len(in.flightFree); n > 0 {
+		fl = in.flightFree[n-1]
+		in.flightFree[n-1] = nil
+		in.flightFree = in.flightFree[:n-1]
+	} else {
+		fl = &flight{net: in}
+		fl.fn = fl.fire
+	}
+	fl.mac, fl.f = m, f
+	return fl
+}
+
+// fire recycles the flight before delivering, so deliveries that trigger
+// further sends can reuse it immediately.
+func (fl *flight) fire() {
+	m, f := fl.mac, fl.f
+	fl.mac, fl.f = nil, nil
+	fl.net.flightFree = append(fl.net.flightFree, fl)
+	m.deliver(f)
 }
 
 func (m *IdealMAC) deliver(f *phy.Frame) {

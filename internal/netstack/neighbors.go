@@ -55,6 +55,10 @@ type heartbeatService struct {
 	timeout  float64
 	lastSeen []map[int]float64 // id -> neighbor -> last beacon time
 	scratch  []int
+	// beacons holds one immutable beacon packet per node, built once and
+	// rebroadcast every cycle: all fields are constant per sender and the
+	// receive path reads only the previous-hop id, so reuse is safe.
+	beacons []*Packet
 }
 
 func newHeartbeatService(net *Network, interval float64) *heartbeatService {
@@ -63,10 +67,17 @@ func newHeartbeatService(net *Network, interval float64) *heartbeatService {
 		interval: interval,
 		timeout:  2.2 * interval,
 		lastSeen: make([]map[int]float64, net.N()),
+		beacons:  make([]*Packet, net.N()),
 	}
 	rng := net.engine.NewStream()
 	for id := 0; id < net.N(); id++ {
 		h.lastSeen[id] = make(map[int]float64)
+		h.beacons[id] = &Packet{
+			Proto: ProtoBeacon,
+			Src:   id,
+			Dst:   Broadcast,
+			Bytes: beaconBytes,
+		}
 		node := net.Node(id)
 		node.Register(ProtoBeacon, h)
 		phase := rng.Float64() * interval
@@ -79,12 +90,7 @@ func (h *heartbeatService) beacon(n *Node) {
 	if !n.Alive() {
 		return
 	}
-	n.BroadcastOneHop(&Packet{
-		Proto: ProtoBeacon,
-		Src:   n.ID(),
-		Dst:   Broadcast,
-		Bytes: beaconBytes,
-	}, nil)
+	n.BroadcastOneHop(h.beacons[n.ID()], nil)
 }
 
 // HandlePacket implements Handler: record the beacon sender.

@@ -146,6 +146,14 @@ type Network struct {
 	// linkOrder tracks per-link arrival/delivery order while a fault
 	// function is installed, so reorders are observable as a counter.
 	linkOrder map[linkKey]*linkOrder
+
+	// frameFree recycles the phy.Frame envelopes nodes wrap around
+	// outgoing packets: SendOneHop/BroadcastOneHop pop one and
+	// MACSendDone — the MAC's last touch of a frame — pushes it back, so
+	// steady-state sending is allocation-free (DESIGN.md §9).
+	frameFree []*phy.Frame
+	// aliveScratch backs AliveIDs.
+	aliveScratch []int
 }
 
 // PartitionFunc reports whether nodes a and b are currently separated by a
@@ -440,15 +448,39 @@ func (net *Network) Alive(id int) bool { return net.alive[id] }
 // NumAlive returns the number of live nodes.
 func (net *Network) NumAlive() int { return net.nAlive }
 
-// AliveIDs returns the ids of all live nodes.
+// AliveIDs returns the ids of all live nodes, in increasing order. The
+// returned slice is reused by the next AliveIDs call; callers that retain
+// it across calls must copy it first.
 func (net *Network) AliveIDs() []int {
-	ids := make([]int, 0, net.nAlive)
+	net.aliveScratch = net.aliveScratch[:0]
 	for id, a := range net.alive {
 		if a {
-			ids = append(ids, id)
+			net.aliveScratch = append(net.aliveScratch, id)
 		}
 	}
-	return ids
+	return net.aliveScratch
+}
+
+// allocFrame takes a recycled frame envelope from the pool, or allocates
+// when the pool is dry. Frames are zeroed at release, so the returned frame
+// is field-for-field identical to a fresh &phy.Frame{}.
+func (net *Network) allocFrame() *phy.Frame {
+	if n := len(net.frameFree); n > 0 {
+		f := net.frameFree[n-1]
+		net.frameFree[n-1] = nil
+		net.frameFree = net.frameFree[:n-1]
+		return f
+	}
+	return &phy.Frame{}
+}
+
+// freeFrame recycles a frame the MAC has finished with (MACSendDone is its
+// last touch: by then every receiver has been handed the payload and no
+// medium arrival references the frame any longer — end-of-signal events
+// fire before the sender's completion upcall at equal times).
+func (net *Network) freeFrame(f *phy.Frame) {
+	*f = phy.Frame{}
+	net.frameFree = append(net.frameFree, f)
 }
 
 // RandomAliveID returns a uniformly random live node id.

@@ -86,7 +86,8 @@ func (n *Node) SendOneHop(next int, pkt *Packet, done func(ok bool)) {
 		}
 		return
 	}
-	f := &phy.Frame{Dst: next, Bytes: pkt.Bytes + IPHeaderBytes, Payload: pkt}
+	f := n.net.allocFrame()
+	f.Dst, f.Bytes, f.Payload = next, pkt.Bytes+IPHeaderBytes, pkt
 	n.cbs[f] = pendingSend{done: done, sent: n.net.engine.Now(), unicast: true}
 	n.net.countSend(pkt)
 	n.mac.Send(f)
@@ -98,7 +99,8 @@ func (n *Node) BroadcastOneHop(pkt *Packet, done func()) {
 	if !n.Alive() {
 		return
 	}
-	f := &phy.Frame{Dst: Broadcast, Bytes: pkt.Bytes + IPHeaderBytes, Payload: pkt}
+	f := n.net.allocFrame()
+	f.Dst, f.Bytes, f.Payload = Broadcast, pkt.Bytes+IPHeaderBytes, pkt
 	if done != nil {
 		n.cbs[f] = pendingSend{done: func(bool) { done() }}
 	}
@@ -130,7 +132,10 @@ func (n *Node) MACOverhear(f *phy.Frame) {
 	n.net.deliverRx(n, f.Src, pkt, true)
 }
 
-// MACSendDone implements mac.Handler.
+// MACSendDone implements mac.Handler. The completion upcall is the MAC's
+// last touch of the frame, so the envelope is recycled here; every frame a
+// node sends was drawn from the network's pool in SendOneHop or
+// BroadcastOneHop.
 func (n *Node) MACSendDone(f *phy.Frame, ok bool) {
 	if ps, found := n.cbs[f]; found {
 		delete(n.cbs, f)
@@ -141,6 +146,7 @@ func (n *Node) MACSendDone(f *phy.Frame, ok bool) {
 			ps.done(ok)
 		}
 	}
+	n.net.freeFrame(f)
 }
 
 var _ mac.Handler = (*Node)(nil)

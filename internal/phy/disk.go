@@ -17,9 +17,15 @@ type DiskMedium struct {
 	r            float64 // transmission range
 	intfRange    float64 // (1+Δ)·r
 	csRange      float64 // carrier-sense range
+	candRange    float64 // max(intfRange, csRange): candidate query radius
 	plcpPreamble float64
 
 	radios []*diskRadio
+
+	// arrivalFree recycles diskArrival objects: Transmit pops one per
+	// candidate receiver and signalEnd pushes it back, so steady-state
+	// transmission is allocation-free (DESIGN.md §9).
+	arrivalFree []*diskArrival
 }
 
 // DiskConfig configures a DiskMedium.
@@ -66,14 +72,16 @@ func NewDiskMedium(engine *sim.Engine, cfg DiskConfig) *DiskMedium {
 		csRange:      cfg.CarrierSenseRange,
 		plcpPreamble: cfg.PlcpPreambleSecs,
 	}
-	maxR := m.intfRange
-	if m.csRange > maxR {
-		maxR = m.csRange
+	m.candRange = m.intfRange
+	if m.csRange > m.candRange {
+		m.candRange = m.csRange
 	}
-	m.world = newWorld(engine, cfg.N, cfg.Side, maxR, cfg.Pos, cfg.MaxSpeed)
+	m.world = newWorld(engine, cfg.N, cfg.Side, m.candRange, cfg.Pos, cfg.MaxSpeed)
 	m.radios = make([]*diskRadio, cfg.N)
 	for i := range m.radios {
-		m.radios[i] = &diskRadio{medium: m, id: i}
+		r := &diskRadio{medium: m, id: i}
+		r.txDoneFn = r.txDone
+		m.radios[i] = r
 	}
 	return m
 }
@@ -97,7 +105,9 @@ func (m *DiskMedium) Enabled(id int) bool { return m.world.enabled[id] }
 // Range returns the transmission range r.
 func (m *DiskMedium) Range() float64 { return m.r }
 
-// diskArrival is a signal impinging on a disk radio.
+// diskArrival is a signal impinging on a disk radio. Arrivals are recycled
+// through the medium's free list: the medium owns the object again as soon
+// as its signalEnd has run, so nothing may retain one past that point.
 type diskArrival struct {
 	frame *Frame
 	// inRange: within the reception range r (decodable).
@@ -107,6 +117,33 @@ type diskArrival struct {
 	// senses: within the carrier-sense range.
 	senses bool
 	end    float64
+	// rx is the radio this arrival impinges on; endFn, built once per
+	// pooled object, invokes rx.signalEnd(this) so scheduling the end of
+	// the signal does not allocate a fresh closure per receiver.
+	rx    *diskRadio
+	endFn func()
+}
+
+// newArrival takes a recycled diskArrival from the pool (or allocates the
+// pool's next object) and initializes it for one receiver.
+func (m *DiskMedium) newArrival(rx *diskRadio, f *Frame, inRange, interferes, senses bool, end float64) *diskArrival {
+	var a *diskArrival
+	if n := len(m.arrivalFree); n > 0 {
+		a = m.arrivalFree[n-1]
+		m.arrivalFree[n-1] = nil
+		m.arrivalFree = m.arrivalFree[:n-1]
+	} else {
+		a = &diskArrival{}
+		a.endFn = func() { a.rx.signalEnd(a) }
+	}
+	a.frame, a.inRange, a.interferes, a.senses, a.end, a.rx = f, inRange, interferes, senses, end, rx
+	return a
+}
+
+// freeArrival recycles an arrival whose end event has run.
+func (m *DiskMedium) freeArrival(a *diskArrival) {
+	a.frame, a.rx = nil, nil
+	m.arrivalFree = append(m.arrivalFree, a)
 }
 
 type diskRadio struct {
@@ -119,6 +156,9 @@ type diskRadio struct {
 	locked    *diskArrival
 	corrupted bool
 	busy      bool
+	// txDoneFn is the bound txDone method, created once so scheduling the
+	// end of a transmission does not allocate.
+	txDoneFn func()
 }
 
 var _ Channel = (*diskRadio)(nil)
@@ -151,6 +191,8 @@ func (r *diskRadio) interferenceCount(except *diskArrival) int {
 }
 
 func (r *diskRadio) reset() {
+	// Dropped arrivals are not recycled here: each one's end event is
+	// still scheduled, and signalEnd is the single owner hand-off point.
 	r.active = r.active[:0]
 	r.locked = nil
 	r.corrupted = false
@@ -170,33 +212,26 @@ func (r *diskRadio) Transmit(f *Frame) {
 		r.corrupted = true
 	}
 	r.txUntil = now + dur
-	m.engine.At(r.txUntil, r.txDone)
+	m.engine.At(r.txUntil, r.txDoneFn)
 	r.updateCarrier()
 
 	srcPos := m.world.pos(r.id)
 	end := now + dur
-	maxR := m.intfRange
-	if m.csRange > maxR {
-		maxR = m.csRange
-	}
-	for _, dst := range m.world.candidates(r.id, maxR) {
+	for _, dst := range m.world.candidates(r.id, m.candRange) {
 		if dst == r.id {
 			continue
 		}
 		d := geom.Dist(srcPos, m.world.pos(dst))
-		a := &diskArrival{
-			frame:      f,
-			inRange:    d <= m.r,
-			interferes: d <= m.intfRange,
-			senses:     d <= m.csRange,
-			end:        end,
-		}
-		if !a.inRange && !a.interferes && !a.senses {
+		inRange := d <= m.r
+		interferes := d <= m.intfRange
+		senses := d <= m.csRange
+		if !inRange && !interferes && !senses {
 			continue
 		}
 		rx := m.radios[dst]
+		a := m.newArrival(rx, f, inRange, interferes, senses, end)
 		rx.signalBegin(a)
-		m.engine.At(end, func() { rx.signalEnd(a) })
+		m.engine.At(end, a.endFn)
 	}
 }
 
@@ -234,13 +269,20 @@ func (r *diskRadio) signalEnd(a *diskArrival) {
 			break
 		}
 	}
+	var deliver *Frame
 	if r.locked == a {
 		delivered := !r.corrupted && m.engine.Now() >= r.txUntil
 		r.locked = nil
 		r.corrupted = false
 		if delivered && r.handler != nil && m.Enabled(r.id) {
-			r.handler.FrameReceived(a.frame)
+			deliver = a.frame
 		}
+	}
+	// The arrival's lifetime ends here; recycle it before the handler
+	// runs so a synchronous retransmission can reuse it.
+	m.freeArrival(a)
+	if deliver != nil {
+		r.handler.FrameReceived(deliver)
 	}
 	r.updateCarrier()
 }

@@ -130,3 +130,74 @@ func (p Params) CarrierSenseRange() float64 { return p.rangeForThreshold(p.CsThr
 func (p Params) InterferenceRange() float64 {
 	return p.rangeForThreshold(p.InterferenceCutoffDBm)
 }
+
+// Derived holds propagation constants precomputed from Params so the
+// innermost loop (received power per frame × candidate receiver) does no
+// math.Pow or threshold conversion. Compute it once per medium with
+// Params.Derived.
+//
+// Derived.ReceivedPowerMw is bit-identical to Params.ReceivedPowerMw: the
+// cached factors group the constant prefix of each formula exactly as the
+// original left-to-right evaluation does, so only constant subexpressions
+// are hoisted and no floating-point rounding changes
+// (TestDerivedReceivedPowerBitIdentical pins this).
+type Derived struct {
+	// TxPowerMw is the transmit power in linear milliwatts.
+	TxPowerMw float64
+	// RxThreshMw, CsThreshMw, NoiseMw, CutoffMw are the dBm thresholds
+	// converted to linear milliwatts.
+	RxThreshMw, CsThreshMw, NoiseMw, CutoffMw float64
+	// CrossoverDist is where two-ray ground takes over from Friis.
+	CrossoverDist float64
+	// ReceptionRange, CarrierSenseRange, InterferenceRange are the
+	// threshold-crossing distances (see the Params methods of the same
+	// names).
+	ReceptionRange, CarrierSenseRange, InterferenceRange float64
+
+	// friisNum is ((TxPowerMw·G)·λ)·λ — the constant numerator of the
+	// Friis branch, grouped as in Params.ReceivedPowerMw.
+	friisNum float64
+	// friisC is (16·π)·π — the constant head of the Friis denominator.
+	friisC float64
+	// twoRayNum is ((TxPowerMw·G)·ht²)·ht² — the constant numerator of
+	// the two-ray branch.
+	twoRayNum float64
+	// systemLoss is the ns-2 system-loss factor L.
+	systemLoss float64
+}
+
+// Derived precomputes the propagation constants for p.
+func (p Params) Derived() Derived {
+	pt := DBmToMilliwatt(p.TxPowerDBm)
+	lambda := p.Wavelength()
+	h2 := p.AntennaHeightM * p.AntennaHeightM
+	return Derived{
+		TxPowerMw:         pt,
+		RxThreshMw:        DBmToMilliwatt(p.RxThreshDBm),
+		CsThreshMw:        DBmToMilliwatt(p.CsThreshDBm),
+		NoiseMw:           DBmToMilliwatt(p.NoiseDBm),
+		CutoffMw:          DBmToMilliwatt(p.InterferenceCutoffDBm),
+		CrossoverDist:     p.CrossoverDist(),
+		ReceptionRange:    p.ReceptionRange(),
+		CarrierSenseRange: p.CarrierSenseRange(),
+		InterferenceRange: p.InterferenceRange(),
+		friisNum:          pt * p.AntennaGain * lambda * lambda,
+		friisC:            16 * math.Pi * math.Pi,
+		twoRayNum:         pt * p.AntennaGain * h2 * h2,
+		systemLoss:        p.SystemLoss,
+	}
+}
+
+// ReceivedPowerMw returns the received power in milliwatts at distance dist
+// meters — the same model as Params.ReceivedPowerMw, with the constant
+// subexpressions precomputed and every remaining operation performed in the
+// original order so results are bit-identical.
+func (d *Derived) ReceivedPowerMw(dist float64) float64 {
+	if dist < 1e-9 {
+		return d.TxPowerMw
+	}
+	if dist < d.CrossoverDist {
+		return d.friisNum / (d.friisC * dist * dist * d.systemLoss)
+	}
+	return d.twoRayNum / (dist * dist * dist * dist * d.systemLoss)
+}

@@ -425,3 +425,96 @@ func TestSINRCorruptedCounter(t *testing.T) {
 		t.Fatal("collision not counted as corruption")
 	}
 }
+
+// TestDerivedReceivedPowerBitIdentical pins the Derived cache's received
+// power to the exact bits of the Params method across both path-loss
+// branches and several radio configurations: the cache must hoist only
+// constant subexpressions, never regroup per-distance arithmetic.
+func TestDerivedReceivedPowerBitIdentical(t *testing.T) {
+	params := []Params{
+		DefaultParams(),
+		{TxPowerDBm: 20, RxThreshDBm: -65, CsThreshDBm: -70, NoiseDBm: -95,
+			SINRCapture: 6, InterferenceCutoffDBm: -85, AntennaHeightM: 2.5,
+			FrequencyHz: 2.4e9, AntennaGain: 1.4, SystemLoss: 1.3},
+	}
+	for _, p := range params {
+		d := p.Derived()
+		for _, dist := range []float64{0, 1e-12, 0.5, 1, 10, 50, 100,
+			d.CrossoverDist * 0.999, d.CrossoverDist, d.CrossoverDist * 1.001,
+			200, 299, 500, 1000, 5000} {
+			want := p.ReceivedPowerMw(dist)
+			got := d.ReceivedPowerMw(dist)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("Derived.ReceivedPowerMw(%v) = %v (%x), Params gives %v (%x)",
+					dist, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+		checks := []struct {
+			name      string
+			got, want float64
+		}{
+			{"TxPowerMw", d.TxPowerMw, DBmToMilliwatt(p.TxPowerDBm)},
+			{"RxThreshMw", d.RxThreshMw, DBmToMilliwatt(p.RxThreshDBm)},
+			{"CsThreshMw", d.CsThreshMw, DBmToMilliwatt(p.CsThreshDBm)},
+			{"NoiseMw", d.NoiseMw, DBmToMilliwatt(p.NoiseDBm)},
+			{"CutoffMw", d.CutoffMw, DBmToMilliwatt(p.InterferenceCutoffDBm)},
+			{"CrossoverDist", d.CrossoverDist, p.CrossoverDist()},
+			{"ReceptionRange", d.ReceptionRange, p.ReceptionRange()},
+			{"CarrierSenseRange", d.CarrierSenseRange, p.CarrierSenseRange()},
+			{"InterferenceRange", d.InterferenceRange, p.InterferenceRange()},
+		}
+		for _, c := range checks {
+			if math.Float64bits(c.got) != math.Float64bits(c.want) {
+				t.Fatalf("Derived.%s = %v, Params gives %v", c.name, c.got, c.want)
+			}
+		}
+	}
+}
+
+// transmitAllocScenario builds a static 60-node medium, warms the event,
+// arrival, and candidate-scratch pools, then measures steady-state
+// allocations of one broadcast plus the run that drains its end events.
+func transmitAllocScenario(t *testing.T, e *sim.Engine, mkMedium func(n int, side float64, pos PositionFunc) Medium) float64 {
+	t.Helper()
+	const n = 60
+	side := 800.0
+	rng := e.NewStream()
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	m := mkMedium(n, side, staticPos(pts))
+	f := &Frame{Src: 0, Dst: Broadcast, Kind: FrameData, Bytes: 512, Rate: 2e6}
+	step := func() {
+		m.Channel(0).Transmit(f)
+		e.Run(e.Now() + 0.01)
+	}
+	for i := 0; i < 8; i++ {
+		step() // warm the pools
+	}
+	return testing.AllocsPerRun(100, step)
+}
+
+// TestTransmitAllocsBounded pins the SINR and disk transmit hot paths at
+// zero steady-state allocations per broadcast: events, arrivals, and end
+// events must all come from their pools (DESIGN.md §9).
+func TestTransmitAllocsBounded(t *testing.T) {
+	t.Run("sinr", func(t *testing.T) {
+		e := sim.NewEngine(1)
+		avg := transmitAllocScenario(t, e, func(n int, side float64, pos PositionFunc) Medium {
+			return NewSINRMedium(e, SINRConfig{N: n, Side: side, Pos: pos})
+		})
+		if avg != 0 {
+			t.Fatalf("SINR broadcast allocates %.1f objects/op in steady state, want 0", avg)
+		}
+	})
+	t.Run("disk", func(t *testing.T) {
+		e := sim.NewEngine(1)
+		avg := transmitAllocScenario(t, e, func(n int, side float64, pos PositionFunc) Medium {
+			return NewDiskMedium(e, DiskConfig{N: n, Side: side, Pos: pos})
+		})
+		if avg != 0 {
+			t.Fatalf("disk broadcast allocates %.1f objects/op in steady state, want 0", avg)
+		}
+	})
+}

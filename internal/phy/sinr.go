@@ -18,13 +18,17 @@ type SINRMedium struct {
 	world  *world
 
 	plcpPreamble float64
-	rxThreshMw   float64
-	csThreshMw   float64
-	noiseMw      float64
-	cutoffMw     float64
-	intfRange    float64
+	// d caches the propagation constants (thresholds in mW, range
+	// cutoffs, path-loss factors) so the per-frame×receiver loop does no
+	// dBm conversion or math.Pow.
+	d Derived
 
 	radios []*sinrRadio
+
+	// arrivalFree recycles arrival objects: Transmit pops one per
+	// candidate receiver and signalEnd pushes it back, so steady-state
+	// transmission is allocation-free (DESIGN.md §9).
+	arrivalFree []*arrival
 
 	// Corrupted counts receptions aborted by interference or collision —
 	// an observability hook for MAC-level loss studies.
@@ -61,17 +65,15 @@ func NewSINRMedium(engine *sim.Engine, cfg SINRConfig) *SINRMedium {
 		engine:       engine,
 		params:       cfg.Params,
 		plcpPreamble: cfg.PlcpPreambleSecs,
-		rxThreshMw:   DBmToMilliwatt(cfg.Params.RxThreshDBm),
-		csThreshMw:   DBmToMilliwatt(cfg.Params.CsThreshDBm),
-		noiseMw:      DBmToMilliwatt(cfg.Params.NoiseDBm),
-		cutoffMw:     DBmToMilliwatt(cfg.Params.InterferenceCutoffDBm),
-		intfRange:    cfg.Params.InterferenceRange(),
+		d:            cfg.Params.Derived(),
 	}
-	cell := cfg.Params.CarrierSenseRange()
+	cell := m.d.CarrierSenseRange
 	m.world = newWorld(engine, cfg.N, cfg.Side, cell, cfg.Pos, cfg.MaxSpeed)
 	m.radios = make([]*sinrRadio, cfg.N)
 	for i := range m.radios {
-		m.radios[i] = &sinrRadio{medium: m, id: i}
+		r := &sinrRadio{medium: m, id: i}
+		r.txDoneFn = r.txDone
+		m.radios[i] = r
 	}
 	return m
 }
@@ -106,7 +108,7 @@ func (m *SINRMedium) SetExtraNoise(id int, mw float64) {
 	r.extraNoiseMw = mw
 	if r.locked != nil {
 		interference := r.totalPower() - r.locked.powerMw
-		if r.locked.powerMw/(m.noiseMw+mw+interference) < m.params.SINRCapture {
+		if r.locked.powerMw/(m.d.NoiseMw+mw+interference) < m.params.SINRCapture {
 			r.corrupted = true
 		}
 	}
@@ -116,11 +118,42 @@ func (m *SINRMedium) SetExtraNoise(id int, mw float64) {
 // ExtraNoise returns the jamming noise currently injected at receiver id.
 func (m *SINRMedium) ExtraNoise(id int) float64 { return m.radios[id].extraNoiseMw }
 
-// arrival is one signal currently impinging on a radio.
+// arrival is one signal currently impinging on a radio. Arrivals are
+// recycled through the medium's free list: the medium owns the object
+// again as soon as its signalEnd has run, so nothing may retain an arrival
+// past that point.
 type arrival struct {
 	frame   *Frame
 	powerMw float64
 	end     float64
+	// rx is the radio this arrival impinges on; endFn, built once per
+	// pooled object, invokes rx.signalEnd(this) so scheduling the end of
+	// the signal does not allocate a fresh closure per receiver.
+	rx    *sinrRadio
+	endFn func()
+}
+
+// newArrival takes a recycled arrival from the pool (or allocates the
+// pool's next object) and initializes it for one receiver.
+func (m *SINRMedium) newArrival(rx *sinrRadio, f *Frame, powerMw, end float64) *arrival {
+	var a *arrival
+	if n := len(m.arrivalFree); n > 0 {
+		a = m.arrivalFree[n-1]
+		m.arrivalFree[n-1] = nil
+		m.arrivalFree = m.arrivalFree[:n-1]
+	} else {
+		a = &arrival{}
+		a.endFn = func() { a.rx.signalEnd(a) }
+	}
+	a.frame, a.powerMw, a.end, a.rx = f, powerMw, end, rx
+	return a
+}
+
+// freeArrival recycles an arrival whose end event has run, dropping the
+// frame and radio references so they do not outlive the signal.
+func (m *SINRMedium) freeArrival(a *arrival) {
+	a.frame, a.rx = nil, nil
+	m.arrivalFree = append(m.arrivalFree, a)
 }
 
 // sinrRadio is the per-node receiver state.
@@ -136,6 +169,9 @@ type sinrRadio struct {
 	busy      bool // last reported carrier state
 	// extraNoiseMw is injected jamming noise added to the thermal floor.
 	extraNoiseMw float64
+	// txDoneFn is the bound txDone method, created once so scheduling the
+	// end of a transmission does not allocate.
+	txDoneFn func()
 }
 
 var _ Channel = (*sinrRadio)(nil)
@@ -151,7 +187,7 @@ func (r *sinrRadio) Busy() bool {
 	if m.engine.Now() < r.txUntil {
 		return true
 	}
-	return r.totalPower()+r.extraNoiseMw >= m.csThreshMw
+	return r.totalPower()+r.extraNoiseMw >= m.d.CsThreshMw
 }
 
 func (r *sinrRadio) totalPower() float64 {
@@ -163,6 +199,8 @@ func (r *sinrRadio) totalPower() float64 {
 }
 
 func (r *sinrRadio) reset() {
+	// Dropped arrivals are not recycled here: each one's end event is
+	// still scheduled, and signalEnd is the single owner hand-off point.
 	r.active = r.active[:0]
 	r.locked = nil
 	r.corrupted = false
@@ -184,24 +222,24 @@ func (r *sinrRadio) Transmit(f *Frame) {
 		r.corrupted = true
 	}
 	r.txUntil = now + dur
-	m.engine.At(r.txUntil, r.txDone)
+	m.engine.At(r.txUntil, r.txDoneFn)
 	r.updateCarrier()
 
 	srcPos := m.world.pos(r.id)
 	end := now + dur
-	for _, dst := range m.world.candidates(r.id, m.intfRange) {
+	for _, dst := range m.world.candidates(r.id, m.d.InterferenceRange) {
 		if dst == r.id {
 			continue
 		}
 		rx := m.radios[dst]
 		d := geom.Dist(srcPos, m.world.pos(dst))
-		p := m.params.ReceivedPowerMw(d)
-		if p < m.cutoffMw {
+		p := m.d.ReceivedPowerMw(d)
+		if p < m.d.CutoffMw {
 			continue
 		}
-		a := &arrival{frame: f, powerMw: p, end: end}
+		a := m.newArrival(rx, f, p, end)
 		rx.signalBegin(a)
-		m.engine.At(end, func() { rx.signalEnd(a) })
+		m.engine.At(end, a.endFn)
 	}
 }
 
@@ -221,8 +259,8 @@ func (r *sinrRadio) signalBegin(a *arrival) {
 		// Try to lock onto the new signal: strong enough and clean
 		// enough at its start.
 		interference := r.totalPower() - a.powerMw
-		if a.powerMw >= m.rxThreshMw &&
-			a.powerMw/(m.noiseMw+r.extraNoiseMw+interference) >= m.params.SINRCapture {
+		if a.powerMw >= m.d.RxThreshMw &&
+			a.powerMw/(m.d.NoiseMw+r.extraNoiseMw+interference) >= m.params.SINRCapture {
 			r.locked = a
 			r.corrupted = false
 		}
@@ -230,7 +268,7 @@ func (r *sinrRadio) signalBegin(a *arrival) {
 		// Already decoding: the newcomer is interference. If it pushes
 		// the locked signal's SINR below β, the frame is lost.
 		interference := r.totalPower() - r.locked.powerMw
-		if r.locked.powerMw/(m.noiseMw+r.extraNoiseMw+interference) < m.params.SINRCapture {
+		if r.locked.powerMw/(m.d.NoiseMw+r.extraNoiseMw+interference) < m.params.SINRCapture {
 			r.corrupted = true
 		}
 	}
@@ -246,6 +284,7 @@ func (r *sinrRadio) signalEnd(a *arrival) {
 			break
 		}
 	}
+	var deliver *Frame
 	if r.locked == a {
 		delivered := !r.corrupted && m.engine.Now() >= r.txUntil
 		if !delivered {
@@ -254,8 +293,14 @@ func (r *sinrRadio) signalEnd(a *arrival) {
 		r.locked = nil
 		r.corrupted = false
 		if delivered && r.handler != nil && m.Enabled(r.id) {
-			r.handler.FrameReceived(a.frame)
+			deliver = a.frame
 		}
+	}
+	// The arrival's lifetime ends here; recycle it before the handler
+	// runs so a synchronous retransmission can reuse it.
+	m.freeArrival(a)
+	if deliver != nil {
+		r.handler.FrameReceived(deliver)
 	}
 	r.updateCarrier()
 }

@@ -243,6 +243,89 @@ func TestNewStreamIndependence(t *testing.T) {
 	}
 }
 
+func TestPendingCountsLiveOnly(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	a := e.Schedule(1, fn)
+	e.Schedule(2, fn)
+	a.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after cancelling 1 of 2, want 1", got)
+	}
+	if got := e.QueueLen(); got != 2 {
+		t.Fatalf("QueueLen() = %d (cancelled event should still be queued lazily), want 2", got)
+	}
+	if n := e.Run(10); n != 1 {
+		t.Fatalf("Run executed %d events, want 1", n)
+	}
+	if e.Pending() != 0 || e.QueueLen() != 0 {
+		t.Fatalf("queue not drained: Pending=%d QueueLen=%d", e.Pending(), e.QueueLen())
+	}
+}
+
+func TestEngineCompaction(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	evs := make([]*Event, 200)
+	for i := range evs {
+		evs[i] = e.At(1000, fn)
+	}
+	for i := 0; i < 150; i++ {
+		evs[i].Cancel()
+	}
+	if got := e.Pending(); got != 50 {
+		t.Fatalf("Pending() = %d, want 50", got)
+	}
+	if ql := e.QueueLen(); ql >= 200 {
+		t.Fatalf("QueueLen() = %d: cancelled-dominated queue was not compacted", ql)
+	}
+	if n := e.Run(1000); n != 50 {
+		t.Fatalf("Run executed %d events after compaction, want 50", n)
+	}
+}
+
+// TestEngineAtAllocFree pins the scheduling hot path at zero allocations in
+// steady state: once the event pool is warm, At/Schedule must recycle
+// events rather than allocate (DESIGN.md §9).
+func TestEngineAtAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(1, fn)
+	}
+	e.Run(e.Now() + 2)
+	avg := testing.AllocsPerRun(200, func() {
+		e.Schedule(1, fn)
+		e.Run(e.Now() + 2)
+	})
+	if avg != 0 {
+		t.Fatalf("Schedule+Run allocates %.1f objects/op in steady state, want 0", avg)
+	}
+}
+
+// TestTimerRearmAllocFree pins Timer.Reset while armed at zero allocations
+// and zero queue growth: the pending event is rearmed in place.
+func TestTimerRearmAllocFree(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Reset(5)
+	avg := testing.AllocsPerRun(200, func() { tm.Reset(5) })
+	if avg != 0 {
+		t.Fatalf("armed Reset allocates %.1f objects/op, want 0", avg)
+	}
+	if ql := e.QueueLen(); ql != 1 {
+		t.Fatalf("QueueLen() = %d after repeated rearm, want 1 (no cancelled ghosts)", ql)
+	}
+	e.Run(e.Now() + 6)
+	if fired != 1 {
+		t.Fatalf("rearmed timer fired %d times, want 1", fired)
+	}
+	if tm.Armed() {
+		t.Fatal("timer should be disarmed after firing")
+	}
+}
+
 func TestRunAllLimit(t *testing.T) {
 	e := NewEngine(1)
 	var recur func()

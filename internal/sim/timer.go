@@ -52,9 +52,18 @@ func NewTimer(e *Engine, fn func()) *Timer {
 	return &Timer{engine: e, fn: fn}
 }
 
-// Reset (re)arms the timer to fire after delay seconds, cancelling any
-// earlier deadline.
+// Reset (re)arms the timer to fire after delay seconds, superseding any
+// earlier deadline. While the timer is armed the pending event is rearmed
+// in place — no allocation and no cancelled ghost left in the engine queue
+// — which is what keeps retry-heavy MACs (ACK timeouts rearm on every
+// frame) allocation-free in steady state.
 func (t *Timer) Reset(delay float64) {
+	if delay < 0 {
+		delay = 0
+	}
+	if t.event != nil && t.engine.rearm(t.event, t.engine.Now()+delay) {
+		return
+	}
 	t.Cancel()
 	t.event = t.engine.Schedule(delay, t.fire)
 }
