@@ -13,7 +13,7 @@
 
 GO ?= go
 
-.PHONY: build test check lint bench bench-sweep quick chaos
+.PHONY: build test check lint bench bench-sweep quick chaos mega-smoke
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,15 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	$(GO) run ./cmd/benchjson -out BENCH.json < bench.out
 	rm -f bench.out
+
+# mega-smoke runs the 10k-node scale scenario (DESIGN.md §12) on a
+# shortened horizon: SINR/DCF with cell-noise interference, churn and a
+# fault schedule live, invariant checkers armed. No -race — the point is
+# that 10k nodes complete in CI time — and the go-bench metrics line
+# (wall clock, allocations, peak heap) is folded into BENCH.json so the
+# scale trajectory rides along with the micro-benchmarks.
+mega-smoke:
+	$(GO) run ./cmd/pqexp -megashort mega | $(GO) run ./cmd/benchjson -merge -out BENCH.json
 
 # bench-sweep surfaces only the parallel sweep executor's scaling.
 bench-sweep:

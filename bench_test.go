@@ -244,6 +244,46 @@ func BenchmarkDiskBroadcast(b *testing.B) {
 	}
 }
 
+// BenchmarkSINRBroadcast10k measures one broadcast through the cell-noise
+// SINR medium on a static 10k-node field: grid candidate collection over the
+// carrier-sense radius, the (inline) power evaluation, and the aggregated
+// far-field lookups. This is the per-broadcast unit cost the mega scenario
+// pays (DESIGN.md §12).
+func BenchmarkSINRBroadcast10k(b *testing.B) {
+	e := sim.NewEngine(1)
+	rng := e.NewStream()
+	const n = 10000
+	side := geom.AreaSide(n, 200, 10)
+	pts := geom.UniformPoints(rng, n, side)
+	m := phy.NewSINRMedium(e, phy.SINRConfig{
+		N: n, Side: side, Pos: func(id int) geom.Point { return pts[id] },
+		CellNoise: true,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &phy.Frame{Src: i % n, Dst: phy.Broadcast, Bytes: 512, Rate: 2e6}
+		m.Channel(i % n).Transmit(f)
+		e.Run(e.Now() + 0.01)
+	}
+}
+
+// BenchmarkMegaTick advances a prepared 10k-node SINR/DCF network
+// (cell-noise mode, phase-staggered heartbeat discovery) by half a simulated
+// second per iteration — roughly 500 beacon broadcasts' worth of DCF
+// contention — so ns/op and allocs/op track the steady-state cost of
+// mega-scale simulation time rather than one isolated broadcast.
+func BenchmarkMegaTick(b *testing.B) {
+	e := sim.NewEngine(1)
+	netstack.New(e, netstack.Config{N: 10000, CellNoise: true})
+	e.Run(10) // spread the first heartbeat cycle out before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(e.Now() + 0.5)
+	}
+}
+
 // BenchmarkTimerRearm measures the armed-timer Reset fast path (in-place
 // heap fix, no allocation) that heartbeat and protocol timeouts sit on.
 func BenchmarkTimerRearm(b *testing.B) {

@@ -5,6 +5,7 @@
 //
 //	go test -bench=. -benchmem -run='^$' . > bench.out
 //	benchjson -out BENCH.json < bench.out
+//	pqexp mega | benchjson -merge -out BENCH.json
 //
 // Every input line is passed through to stdout unchanged, so benchjson can
 // sit at the end of a pipe without hiding the human-readable report. The
@@ -12,6 +13,11 @@
 // B/op, allocs/op, and any custom b.ReportMetric units (hit-ratio,
 // msgs/lookup, ...). The goos/goarch/cpu header lines are captured so a
 // committed BENCH.json identifies the machine the trajectory came from.
+//
+// With -merge, an existing output file is read first and the new results
+// are folded in by benchmark name (new results replace same-named entries,
+// others are kept), so separately produced suites — the go-test benchmarks
+// and the pqexp mega metrics line — accumulate into one BENCH.json.
 package main
 
 import (
@@ -47,14 +53,15 @@ type report struct {
 
 func main() {
 	out := flag.String("out", "BENCH.json", "output JSON file")
+	merge := flag.Bool("merge", false, "fold results into an existing -out file by benchmark name instead of replacing it")
 	flag.Parse()
-	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+	if err := run(os.Stdin, os.Stdout, *out, *merge); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, echo io.Writer, outPath string) error {
+func run(in io.Reader, echo io.Writer, outPath string, merge bool) error {
 	rep := report{Benchmarks: []benchResult{}}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -82,11 +89,59 @@ func run(in io.Reader, echo io.Writer, outPath string) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found in input")
 	}
+	if merge {
+		if err := mergeExisting(&rep, outPath); err != nil {
+			return err
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}
+
+// mergeExisting folds the prior outPath contents into rep: earlier
+// benchmarks not re-measured this run are kept (in their original order,
+// ahead of the new results), and same-named ones are superseded. Header
+// fields absent from the new input inherit the old file's values. A missing
+// outPath is not an error — merge then behaves like a plain write.
+func mergeExisting(rep *report, outPath string) error {
+	data, err := os.ReadFile(outPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("existing %s is not a benchjson report: %w", outPath, err)
+	}
+	fresh := make(map[string]bool, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		fresh[b.Name] = true
+	}
+	kept := make([]benchResult, 0, len(old.Benchmarks)+len(rep.Benchmarks))
+	for _, b := range old.Benchmarks {
+		if !fresh[b.Name] {
+			kept = append(kept, b)
+		}
+	}
+	rep.Benchmarks = append(kept, rep.Benchmarks...)
+	if rep.Goos == "" {
+		rep.Goos = old.Goos
+	}
+	if rep.Goarch == "" {
+		rep.Goarch = old.Goarch
+	}
+	if rep.Pkg == "" {
+		rep.Pkg = old.Pkg
+	}
+	if rep.CPU == "" {
+		rep.CPU = old.CPU
+	}
+	return nil
 }
 
 // parseBenchLine parses one result line of the form

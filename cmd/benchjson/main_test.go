@@ -55,7 +55,7 @@ PASS
 `)
 	var echo strings.Builder
 	out := filepath.Join(t.TempDir(), "BENCH.json")
-	if err := run(in, &echo, out); err != nil {
+	if err := run(in, &echo, out, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(echo.String(), "BenchmarkEngineScheduleRun-8") {
@@ -74,7 +74,45 @@ PASS
 
 func TestRunErrorsOnEmptyInput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
-	if err := run(strings.NewReader("no benchmarks here\n"), &strings.Builder{}, out); err == nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &strings.Builder{}, out, false); err == nil {
 		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}
+
+func TestRunMergeFoldsIntoExisting(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	first := strings.NewReader(`goos: linux
+BenchmarkKept-8   10   100 ns/op
+BenchmarkReplaced-8   10   100 ns/op
+PASS
+`)
+	if err := run(first, &strings.Builder{}, out, false); err != nil {
+		t.Fatal(err)
+	}
+	second := strings.NewReader(`BenchmarkReplaced-8   10   250 ns/op
+BenchmarkMegaScenario/n=10000/workers=2 1 9e9 ns/op 5e8 B/op 100 allocs/op 2e8 peak-heap-B
+PASS
+`)
+	if err := run(second, &strings.Builder{}, out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{
+		`"name": "BenchmarkKept"`,
+		`"name": "BenchmarkMegaScenario/n=10000/workers=2"`,
+		`"ns_per_op": 250`,
+		`"peak-heap-B": 200000000`,
+		`"goos": "linux"`, // inherited from the first write
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("merged BENCH.json missing %s; got:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, `"ns_per_op": 100,`) && strings.Count(got, "BenchmarkReplaced") != 1 {
+		t.Errorf("replaced benchmark kept its old entry:\n%s", got)
 	}
 }

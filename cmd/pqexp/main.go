@@ -13,6 +13,12 @@
 // harness: randomized partition/link-fault/jamming schedules with invariant
 // checkers armed).
 //
+// `pqexp mega` runs the 10k-node scale exercise (DESIGN.md §12): SINR/DCF
+// with the cell-noise interference model, continuous churn and a fault
+// schedule live, invariant checkers on, and a go-bench-format metrics line
+// (wall clock, allocations, peak heap) on stdout for cmd/benchjson. Tune it
+// with -megan/-megashort/-workers. It is deliberately not part of "all".
+//
 // By default it runs the quick profile (ideal link layer, scaled-down
 // sweep). Pass -full for the paper-scale configuration on the SINR stack
 // (slow: hours), or tune -stack/-seeds/-bign individually.
@@ -55,6 +61,9 @@ func run(args []string) error {
 	bigN := fs.Int("bign", 0, "override the large-network size")
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "sweep worker-pool size (independent runs in flight at once)")
+	workers := fs.Int("workers", 0, "per-engine parallel-phase width for PHY evaluation (0 = serial; results identical at any width)")
+	megaN := fs.Int("megan", 10000, "node count for the mega scale scenario")
+	megaShort := fs.Bool("megashort", false, "shrink the mega scenario's workload for smoke tests")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering every figure run to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile taken after all figures to this file")
@@ -112,6 +121,7 @@ func run(args []string) error {
 		p.BigN = *bigN
 	}
 	p.Parallel = *parallel
+	p.Workers = *workers
 	effective := p.Parallel
 	if effective < 1 {
 		effective = runtime.GOMAXPROCS(0)
@@ -123,6 +133,10 @@ func run(args []string) error {
 			"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tau", "fig4series", "crt", "decay", "chaos"}
 	}
 	for _, f := range figs {
+		if strings.EqualFold(f, "mega") {
+			runMega(experiment.MegaConfig{N: *megaN, Seed: *seed, Workers: *workers, Horizon: megaHorizon(*megaShort)})
+			continue
+		}
 		start := time.Now()
 		tables, err := runFigure(f, p, *seed)
 		if err != nil {
@@ -145,6 +159,23 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+func megaHorizon(short bool) float64 {
+	if short {
+		return 0.15
+	}
+	return 1
+}
+
+// runMega executes the scale scenario and prints both the human table and
+// the go-bench metrics line (the latter is what `make mega-smoke` pipes
+// into cmd/benchjson -merge).
+func runMega(mc experiment.MegaConfig) {
+	res := experiment.RunMega(mc)
+	fmt.Println(res.Table())
+	fmt.Println(res.BenchLine())
+	fmt.Println()
 }
 
 func runFigure(name string, p experiment.Profile, seed int64) ([]experiment.Table, error) {

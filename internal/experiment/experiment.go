@@ -97,6 +97,14 @@ type Scenario struct {
 	// measuring the paper's "cost of a lookup miss" (Fig. 16): the whole
 	// target quorum is paid, with no early-halting savings.
 	LookupAbsentKeys bool
+	// Workers sets the engine's parallel-phase width (sim.SetWorkers):
+	// per-broadcast PHY evaluation fans out across this many goroutines.
+	// Results are bit-identical at any setting; 0 or 1 runs serially.
+	Workers int
+	// CellNoise selects the SINR stack's cell-aggregated far-field
+	// interference model (netstack.Config.CellNoise) — the approximate
+	// scale-out mode used by the mega scenario.
+	CellNoise bool
 }
 
 func (sc *Scenario) fillDefaults() {
@@ -249,6 +257,7 @@ func (d DecayPoint) IntersectRatio() float64 {
 func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *membership.Service, *quorum.System) {
 	sc.fillDefaults()
 	engine := sim.NewEngine(sc.Seed)
+	engine.SetWorkers(sc.Workers)
 
 	// Pre-allocate join capacity; joiners stay down until churn time.
 	joiners := sc.joinSlots()
@@ -257,7 +266,7 @@ func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *memb
 	cfg := netstack.Config{
 		N: total, AvgDegree: sc.AvgDegree, Stack: sc.Stack,
 		LossProb: sc.LossProb, IdealHopDelay: sc.IdealHopDelay,
-		RxLossProb: sc.RxLossProb,
+		RxLossProb: sc.RxLossProb, CellNoise: sc.CellNoise,
 	}
 	// Area sized for the *initial* population, per the paper's scaling.
 	cfg.Side = areaSide(sc.N, 200, sc.AvgDegree)
@@ -299,6 +308,7 @@ func Run(sc Scenario) Result {
 	joiners := sc.joinSlots()
 	total := sc.N + joiners
 	engine, net, _, members, sys := buildStack(sc)
+	defer engine.StopWorkers()
 	rng := engine.NewStream()
 
 	engine.Run(sc.WarmupSecs)

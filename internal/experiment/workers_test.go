@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"probquorum/internal/netstack"
+	"probquorum/internal/quorum"
+)
+
+// workersScenario is a mobile DCF/SINR scenario dense enough that
+// per-broadcast candidate sets exceed sim.MinParallelItems, so fanned-out
+// runs genuinely exercise the parallel phase rather than the inline path.
+func workersScenario(workers int) Scenario {
+	sc := Scenario{
+		N: 80, Stack: netstack.StackSINR,
+		SpeedMin: 0.5, SpeedMax: 2, Seed: 5,
+		Advertisements: 6, Lookups: 30, LookupNodes: 6,
+		Workers: workers,
+	}
+	sc.Quorum = mixConfig(sc.N, quorum.Random, quorum.UniquePath)
+	return sc
+}
+
+// statsString runs the built stack (heartbeats + DCF + SINR) for a fixed
+// horizon and returns the full netstack counter/latency rendering.
+func statsString(workers int) string {
+	engine, net, _, _, _ := buildStack(workersScenario(workers))
+	defer engine.StopWorkers()
+	engine.Run(120)
+	return net.Stats().String()
+}
+
+// TestWorkersBitIdentical is the parallel-phase determinism gate (run by
+// make check): a full SINR/DCF experiment and the raw netstack statistics
+// must render bit-identically with the parallel phase off and at widths 2
+// and 8.
+func TestWorkersBitIdentical(t *testing.T) {
+	wantRes := fmt.Sprintf("%+v", Run(workersScenario(0)))
+	wantStats := statsString(0)
+	for _, w := range []int{2, 8} {
+		if got := fmt.Sprintf("%+v", Run(workersScenario(w))); got != wantRes {
+			t.Errorf("Workers=%d result diverged from serial run:\n got %s\nwant %s", w, got, wantRes)
+		}
+		if got := statsString(w); got != wantStats {
+			t.Errorf("Workers=%d netstack stats diverged from serial run:\n got %s\nwant %s", w, got, wantStats)
+		}
+	}
+}

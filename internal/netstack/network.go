@@ -80,6 +80,10 @@ type Config struct {
 	// IdealHopDelay adds fixed per-hop latency on the ideal stack
 	// (models queueing/channel access without contention).
 	IdealHopDelay float64
+	// CellNoise selects the SINR stack's cell-aggregated far-field
+	// interference model — the approximate scale-out mode for very large
+	// n (see phy.SINRConfig.CellNoise). Ignored by other stacks.
+	CellNoise bool
 }
 
 func (c *Config) fillDefaults() {
@@ -217,6 +221,7 @@ func New(engine *sim.Engine, cfg Config) *Network {
 		m := phy.NewSINRMedium(engine, phy.SINRConfig{
 			N: cfg.N, Side: cfg.Side, Pos: pos,
 			MaxSpeed: net.mob.MaxSpeed(), Params: cfg.PHY,
+			CellNoise: cfg.CellNoise,
 		})
 		net.medium = m
 		for i := 0; i < cfg.N; i++ {

@@ -1,0 +1,133 @@
+package phy
+
+import "probquorum/internal/geom"
+
+// noiseField is the cell-level interference aggregate behind SINRConfig
+// CellNoise: an opt-in scale-out mode that replaces per-arrival interference
+// bookkeeping for the far field with a running spatial summary of who is
+// transmitting where.
+//
+// In the exact model every transmission creates an arrival object at every
+// receiver out to the interference range (~508 m), so interference cost per
+// broadcast grows with the full interference disc — the dominant term at
+// 10k-node densities. With CellNoise the medium creates arrivals only out to
+// the carrier-sense range (the near field, where locking, capture, and
+// carrier decisions need exact per-signal powers) and folds everything
+// beyond into this field: transmitters register their indexed position here
+// for the duration of each frame, and a receiver queries the cumulative
+// far-field power in one pass over nearby cells.
+//
+// The far power is approximate by construction — each occupied cell
+// contributes count·ReceivedPowerMw(distance to cell center) — but the
+// approximation only covers signals that are individually below the
+// carrier-sense threshold; their aggregate enters the SINR denominator at
+// lock, corruption, jamming, and delivery checks. Two guards keep it sound:
+//
+//   - Cells whose nearest point lies within innerRadius (carrier-sense range
+//     plus index-staleness slop for both the world index and this one) are
+//     skipped: those transmitters are already exact arrivals at the
+//     receiver, so they must not be double counted. A transmitter falling in
+//     the slop annulus is dropped from both sides — CellNoise slightly
+//     understates interference there rather than ever overstating it.
+//   - Carrier sense stays near-field-only, so Busy() and the
+//     ChannelStateChanged notifications remain mutually consistent (the far
+//     field generates no begin/end events that could re-notify DCF).
+//
+// Membership is count-based: a node enters the grid when its outstanding
+// transmission count goes 0→1 and leaves at 1→0, so overlapping or
+// rescheduled transmissions cannot unbalance the index, and no floating-
+// point accumulator drifts.
+type noiseField struct {
+	grid *geom.Grid
+	d    Derived
+	// txCount is the number of in-flight transmissions per node; the node
+	// is indexed while the count is positive.
+	txCount []int32
+	// innerRadius separates the exact near field (real arrivals) from the
+	// aggregated far field; intfRange bounds the far field's support.
+	innerRadius float64
+	intfRange   float64
+	cell        float64
+
+	// Query state for the prebound visit closure, so farMwAt allocates
+	// nothing: qp is the receiver position, acc the running power sum.
+	qp    geom.Point
+	acc   float64
+	visit func(cx, cy int, ids []int32)
+}
+
+// noiseCellsPerIntfRange sets the summary resolution: the interference range
+// spans about this many cells, trading center-distance error (~cell·√2/2)
+// against cells visited per query.
+const noiseCellsPerIntfRange = 3.0
+
+func newNoiseField(n int, side float64, d Derived, maxSpeed float64) *noiseField {
+	f := &noiseField{
+		d:       d,
+		txCount: make([]int32, n),
+		// Both the world index and this one can be up to worldRefreshSecs
+		// stale, so a transmitter's true distance can differ from the
+		// indexed one by 2·maxSpeed·refresh on each side.
+		innerRadius: d.CarrierSenseRange + 4*maxSpeed*worldRefreshSecs,
+		intfRange:   d.InterferenceRange,
+		grid:        geom.NewGrid(n, side, d.InterferenceRange/noiseCellsPerIntfRange),
+	}
+	f.cell = f.grid.CellSize()
+	inner2 := f.innerRadius * f.innerRadius
+	intf2 := f.intfRange * f.intfRange
+	f.visit = func(cx, cy int, ids []int32) {
+		if len(ids) == 0 {
+			return
+		}
+		x0 := float64(cx) * f.cell
+		y0 := float64(cy) * f.cell
+		// Nearest point of the cell square to the query position.
+		dx, dy := 0.0, 0.0
+		if f.qp.X < x0 {
+			dx = x0 - f.qp.X
+		} else if f.qp.X > x0+f.cell {
+			dx = f.qp.X - x0 - f.cell
+		}
+		if f.qp.Y < y0 {
+			dy = y0 - f.qp.Y
+		} else if f.qp.Y > y0+f.cell {
+			dy = f.qp.Y - y0 - f.cell
+		}
+		min2 := dx*dx + dy*dy
+		if min2 <= inner2 || min2 > intf2 {
+			return
+		}
+		center := geom.Point{X: x0 + f.cell/2, Y: y0 + f.cell/2}
+		f.acc += float64(len(ids)) * f.d.ReceivedPowerMw(geom.Dist(f.qp, center))
+	}
+	return f
+}
+
+// txStart registers one outstanding transmission from id at indexed
+// position p. The position sticks for the node's whole transmitting episode
+// (until the count drains to zero); at these ranges the center-distance
+// quantization dominates any intra-frame movement.
+func (f *noiseField) txStart(id int, p geom.Point) {
+	f.txCount[id]++
+	if f.txCount[id] == 1 {
+		f.grid.Update(id, p)
+	}
+}
+
+// txEnd retires one outstanding transmission from id.
+func (f *noiseField) txEnd(id int) {
+	f.txCount[id]--
+	if f.txCount[id] == 0 {
+		f.grid.Remove(id)
+	}
+}
+
+// farMwAt returns the aggregated far-field interference power (milliwatts)
+// at position p: for every occupied cell fully outside the near field and
+// inside the interference range, count times the power a transmitter at the
+// cell center would deliver. Allocation-free.
+func (f *noiseField) farMwAt(p geom.Point) float64 {
+	f.qp, f.acc = p, 0
+	f.grid.ForEachCellWithin(p, f.intfRange, f.visit)
+	return f.acc
+}

@@ -1,0 +1,166 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probquorum/internal/geom"
+	"probquorum/internal/sim"
+)
+
+// oracleFarMw recomputes the far-field aggregate by scanning every cell of
+// the noise grid directly and applying the documented rule: occupied cells
+// fully outside innerRadius and not beyond intfRange contribute
+// count·ReceivedPowerMw(center distance).
+func oracleFarMw(f *noiseField, p geom.Point) float64 {
+	cs := f.grid.CellSize()
+	sum := 0.0
+	for cy := 0; cy < f.grid.Cols(); cy++ {
+		for cx := 0; cx < f.grid.Cols(); cx++ {
+			ids := f.grid.Cell(cx, cy)
+			if len(ids) == 0 {
+				continue
+			}
+			x0, y0 := float64(cx)*cs, float64(cy)*cs
+			dx := math.Max(math.Max(x0-p.X, p.X-x0-cs), 0)
+			dy := math.Max(math.Max(y0-p.Y, p.Y-y0-cs), 0)
+			min2 := dx*dx + dy*dy
+			if min2 <= f.innerRadius*f.innerRadius || min2 > f.intfRange*f.intfRange {
+				continue
+			}
+			c := geom.Point{X: x0 + cs/2, Y: y0 + cs/2}
+			sum += float64(len(ids)) * f.d.ReceivedPowerMw(geom.Dist(p, c))
+		}
+	}
+	return sum
+}
+
+// TestNoiseFieldOracle property-tests farMwAt against the full-scan oracle
+// under random start/end churn, and checks the count-based membership
+// invariant (a node is indexed iff its outstanding count is positive).
+func TestNoiseFieldOracle(t *testing.T) {
+	const n, side = 120, 3000.0
+	rng := rand.New(rand.NewSource(11))
+	f := newNoiseField(n, side, DefaultParams().Derived(), 2.0)
+
+	for step := 0; step < 2000; step++ {
+		id := rng.Intn(n)
+		if f.txCount[id] == 0 || rng.Float64() < 0.4 {
+			f.txStart(id, geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side})
+		} else {
+			f.txEnd(id)
+		}
+		if step%97 != 0 {
+			continue
+		}
+		indexed := 0
+		for _, c := range f.txCount {
+			if c < 0 {
+				t.Fatal("negative outstanding-transmission count")
+			}
+			if c > 0 {
+				indexed++
+			}
+		}
+		if got := f.grid.Count(); got != indexed {
+			t.Fatalf("step %d: grid holds %d ids, %d nodes transmitting", step, got, indexed)
+		}
+		q := geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		got, want := f.farMwAt(q), oracleFarMw(f, q)
+		if math.Abs(got-want) > 1e-18+1e-12*want {
+			t.Fatalf("step %d: farMwAt(%v) = %g, oracle %g", step, q, got, want)
+		}
+	}
+}
+
+// cellNoiseScenario wires a CellNoise medium with a probe link (tx 150 m
+// from rx) and optionally a ring of far interferers at ringDist from the
+// receiver — outside the carrier-sense range (so they produce no arrivals)
+// but inside the interference range (so only the aggregated far field can
+// account for them).
+func cellNoiseScenario(t *testing.T, farCount int, ringDist float64) (*SINRMedium, *collector, *sim.Engine) {
+	t.Helper()
+	const side = 5000.0
+	rxPos := geom.Point{X: side / 2, Y: side / 2}
+	pts := []geom.Point{rxPos, {X: rxPos.X + 150, Y: rxPos.Y}}
+	for i := 0; i < farCount; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(farCount)
+		pts = append(pts, geom.Point{X: rxPos.X + ringDist*math.Cos(ang), Y: rxPos.Y + ringDist*math.Sin(ang)})
+	}
+	e := sim.NewEngine(1)
+	m := NewSINRMedium(e, SINRConfig{N: len(pts), Side: side, Pos: staticPos(pts), CellNoise: true})
+	c := &collector{}
+	m.Channel(0).SetHandler(c)
+
+	// Far ring first: long frames that span the probe's whole frame.
+	for i := 0; i < farCount; i++ {
+		id := 2 + i
+		e.Schedule(0, func() {
+			m.Channel(id).Transmit(&Frame{Src: id, Dst: Broadcast, Kind: FrameData, Bytes: 1500, Rate: 1e6})
+		})
+	}
+	// Probe inside the far frames.
+	e.Schedule(0.001, func() {
+		m.Channel(1).Transmit(&Frame{Src: 1, Dst: 0, Kind: FrameData, Bytes: 100, Rate: 2e6})
+	})
+	return m, c, e
+}
+
+// TestCellNoiseFarFieldEntersSINR is the end-to-end check of the aggregated
+// model: a clean probe link delivers, and the same link fails once a ring
+// of sub-carrier-sense interferers — invisible as arrivals — raises the
+// far-field aggregate past the capture margin.
+func TestCellNoiseFarFieldEntersSINR(t *testing.T) {
+	m, c, e := cellNoiseScenario(t, 0, 0)
+	e.Run(1)
+	if len(c.frames) != 1 {
+		t.Fatalf("clean CellNoise link delivered %d frames, want 1", len(c.frames))
+	}
+
+	m, c, e = cellNoiseScenario(t, 80, 400)
+	d := m.d
+	if d.CarrierSenseRange >= 400 || d.InterferenceRange <= 400 {
+		t.Fatalf("ring at 400 m must sit between cs range %.0f and interference range %.0f",
+			d.CarrierSenseRange, d.InterferenceRange)
+	}
+	e.Run(1)
+	if len(c.frames) != 0 {
+		t.Fatalf("probe delivered despite %d far interferers, want corruption", 80)
+	}
+	if m.Corrupted == 0 {
+		t.Fatal("Corrupted counter did not record the far-field loss")
+	}
+	// All transmissions have ended: the noise grid must have drained.
+	if got := m.noise.grid.Count(); got != 0 {
+		t.Fatalf("noise grid holds %d ids after all frames ended, want 0", got)
+	}
+}
+
+// TestCellNoiseNearFieldNotDoubleCounted pins the inner exclusion: a
+// transmitter inside the carrier-sense range is an exact arrival, so the
+// far-field aggregate at the receiver must ignore it entirely.
+func TestCellNoiseNearFieldNotDoubleCounted(t *testing.T) {
+	const side = 5000.0
+	pts := []geom.Point{{X: side / 2, Y: side / 2}, {X: side/2 + 200, Y: side / 2}}
+	e := sim.NewEngine(1)
+	m := NewSINRMedium(e, SINRConfig{N: 2, Side: side, Pos: staticPos(pts), CellNoise: true})
+	c := &collector{}
+	m.Channel(0).SetHandler(c)
+
+	e.Schedule(0, func() {
+		m.Channel(1).Transmit(&Frame{Src: 1, Dst: 0, Kind: FrameData, Bytes: 400, Rate: 2e6})
+	})
+	e.Schedule(0.0005, func() { // mid-frame
+		if far := m.noise.farMwAt(pts[0]); far != 0 {
+			t.Errorf("far field at receiver = %g during a near-field-only frame, want 0", far)
+		}
+		if len(m.radios[0].active) != 1 {
+			t.Errorf("receiver tracks %d arrivals, want 1 exact near-field arrival", len(m.radios[0].active))
+		}
+	})
+	e.Run(1)
+	if len(c.frames) != 1 {
+		t.Fatalf("near-field frame delivered %d times, want 1", len(c.frames))
+	}
+}

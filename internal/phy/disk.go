@@ -23,9 +23,20 @@ type DiskMedium struct {
 	radios []*diskRadio
 
 	// arrivalFree recycles diskArrival objects: Transmit pops one per
-	// candidate receiver and signalEnd pushes it back, so steady-state
-	// transmission is allocation-free (DESIGN.md §9).
+	// candidate receiver and the transmission's end walk pushes it back,
+	// so steady-state transmission is allocation-free (DESIGN.md §9).
 	arrivalFree []*diskArrival
+	// txFree recycles diskTransmission records the same way.
+	txFree []*diskTransmission
+
+	// Snapshot buffers for the two-phase transmit (see sinrRadio.Transmit;
+	// the disk model fans out its per-candidate distance computation the
+	// same way). Reused across transmissions.
+	evalDst  []int
+	evalPos  []geom.Point
+	evalDist []float64
+	evalSrc  geom.Point
+	evalFn   func(i int)
 }
 
 // DiskConfig configures a DiskMedium.
@@ -83,6 +94,9 @@ func NewDiskMedium(engine *sim.Engine, cfg DiskConfig) *DiskMedium {
 		r.txDoneFn = r.txDone
 		m.radios[i] = r
 	}
+	m.evalFn = func(i int) {
+		m.evalDist[i] = geom.Dist(m.evalSrc, m.evalPos[i])
+	}
 	return m
 }
 
@@ -117,11 +131,8 @@ type diskArrival struct {
 	// senses: within the carrier-sense range.
 	senses bool
 	end    float64
-	// rx is the radio this arrival impinges on; endFn, built once per
-	// pooled object, invokes rx.signalEnd(this) so scheduling the end of
-	// the signal does not allocate a fresh closure per receiver.
-	rx    *diskRadio
-	endFn func()
+	// rx is the radio this arrival impinges on.
+	rx *diskRadio
 }
 
 // newArrival takes a recycled diskArrival from the pool (or allocates the
@@ -134,16 +145,51 @@ func (m *DiskMedium) newArrival(rx *diskRadio, f *Frame, inRange, interferes, se
 		m.arrivalFree = m.arrivalFree[:n-1]
 	} else {
 		a = &diskArrival{}
-		a.endFn = func() { a.rx.signalEnd(a) }
 	}
 	a.frame, a.inRange, a.interferes, a.senses, a.end, a.rx = f, inRange, interferes, senses, end, rx
 	return a
 }
 
-// freeArrival recycles an arrival whose end event has run.
+// freeArrival recycles an arrival whose signalEnd has run.
 func (m *DiskMedium) freeArrival(a *diskArrival) {
 	a.frame, a.rx = nil, nil
 	m.arrivalFree = append(m.arrivalFree, a)
+}
+
+// diskTransmission mirrors the SINR medium's transmission record: all
+// arrivals one frame produced, in creation order, retired by a single
+// engine event that walks them (see the transmission type in sinr.go for
+// the equivalence argument).
+type diskTransmission struct {
+	arrivals []*diskArrival
+	// endFn is the bound end-walk closure, created once per pooled record
+	// so scheduling the end of a transmission does not allocate.
+	endFn func()
+}
+
+// newTransmission takes a recycled record from the pool.
+func (m *DiskMedium) newTransmission() *diskTransmission {
+	if n := len(m.txFree); n > 0 {
+		t := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return t
+	}
+	t := &diskTransmission{}
+	t.endFn = func() { m.endTransmission(t) }
+	return t
+}
+
+// endTransmission runs signalEnd for every arrival in creation order, then
+// recycles the record (after the walk — a handler may synchronously
+// transmit and must not grab the record mid-iteration).
+func (m *DiskMedium) endTransmission(t *diskTransmission) {
+	for i, a := range t.arrivals {
+		t.arrivals[i] = nil
+		a.rx.signalEnd(a)
+	}
+	t.arrivals = t.arrivals[:0]
+	m.txFree = append(m.txFree, t)
 }
 
 type diskRadio struct {
@@ -191,8 +237,9 @@ func (r *diskRadio) interferenceCount(except *diskArrival) int {
 }
 
 func (r *diskRadio) reset() {
-	// Dropped arrivals are not recycled here: each one's end event is
-	// still scheduled, and signalEnd is the single owner hand-off point.
+	// Dropped arrivals are not recycled here: each one is still reachable
+	// from its transmission's end walk, and signalEnd is the single owner
+	// hand-off point.
 	r.active = r.active[:0]
 	r.locked = nil
 	r.corrupted = false
@@ -200,7 +247,10 @@ func (r *diskRadio) reset() {
 	r.updateCarrier()
 }
 
-// Transmit implements Channel.
+// Transmit implements Channel. Like the SINR medium it snapshots candidate
+// positions serially, fans the pure distance computation through
+// ParallelEval, and commits arrivals serially in candidate order, so runs
+// are bit-identical at any worker count.
 func (r *diskRadio) Transmit(f *Frame) {
 	m := r.medium
 	if !m.Enabled(r.id) {
@@ -217,11 +267,28 @@ func (r *diskRadio) Transmit(f *Frame) {
 
 	srcPos := m.world.pos(r.id)
 	end := now + dur
+
+	m.evalDst = m.evalDst[:0]
+	m.evalPos = m.evalPos[:0]
 	for _, dst := range m.world.candidates(r.id, m.candRange) {
 		if dst == r.id {
 			continue
 		}
-		d := geom.Dist(srcPos, m.world.pos(dst))
+		m.evalDst = append(m.evalDst, dst)
+		m.evalPos = append(m.evalPos, m.world.pos(dst))
+	}
+	nc := len(m.evalDst)
+	if cap(m.evalDist) < nc {
+		m.evalDist = make([]float64, nc)
+	}
+	m.evalDist = m.evalDist[:nc]
+
+	m.evalSrc = srcPos
+	m.engine.ParallelEval(nc, m.evalFn)
+
+	var tx *diskTransmission
+	for i, dst := range m.evalDst {
+		d := m.evalDist[i]
 		inRange := d <= m.r
 		interferes := d <= m.intfRange
 		senses := d <= m.csRange
@@ -230,8 +297,14 @@ func (r *diskRadio) Transmit(f *Frame) {
 		}
 		rx := m.radios[dst]
 		a := m.newArrival(rx, f, inRange, interferes, senses, end)
+		if tx == nil {
+			tx = m.newTransmission()
+		}
+		tx.arrivals = append(tx.arrivals, a)
 		rx.signalBegin(a)
-		m.engine.At(end, a.endFn)
+	}
+	if tx != nil {
+		m.engine.At(end, tx.endFn)
 	}
 }
 

@@ -22,13 +22,34 @@ type SINRMedium struct {
 	// cutoffs, path-loss factors) so the per-frame×receiver loop does no
 	// dBm conversion or math.Pow.
 	d Derived
+	// candRange is the candidate-query radius: the interference range in
+	// the exact model, the carrier-sense range under CellNoise (the far
+	// annulus is then covered by the noise field, not by arrivals).
+	candRange float64
 
 	radios []*sinrRadio
 
+	// noise is the cell-level far-field interference summary; nil in the
+	// exact (default) model. See cellnoise.go.
+	noise *noiseField
+
 	// arrivalFree recycles arrival objects: Transmit pops one per
-	// candidate receiver and signalEnd pushes it back, so steady-state
-	// transmission is allocation-free (DESIGN.md §9).
+	// candidate receiver and the transmission's end walk pushes it back,
+	// so steady-state transmission is allocation-free (DESIGN.md §9).
 	arrivalFree []*arrival
+	// txFree recycles transmission records the same way.
+	txFree []*transmission
+
+	// Snapshot buffers for the two-phase transmit: the serial phase
+	// records candidate ids and exact positions, the parallel phase fills
+	// evalPow, and the serial commit walks them in index order. evalFn is
+	// the prebound ParallelEval body; evalSrc parameterizes it without a
+	// per-call closure. All reused across transmissions.
+	evalDst []int
+	evalPos []geom.Point
+	evalPow []float64
+	evalSrc geom.Point
+	evalFn  func(i int)
 
 	// Corrupted counts receptions aborted by interference or collision —
 	// an observability hook for MAC-level loss studies.
@@ -51,6 +72,14 @@ type SINRConfig struct {
 	// PlcpPreambleSecs is the PHY preamble+PLCP header duration added to
 	// every frame (802.11 DSSS long preamble: 192 µs). Zero means 192 µs.
 	PlcpPreambleSecs float64
+	// CellNoise selects the scale-out interference model: arrivals are
+	// created only out to the carrier-sense range and the far annulus
+	// (out to the interference range) enters the SINR denominator as a
+	// cell-aggregated power summary. Approximate — far interferers are
+	// charged at their cell center, sampled at signal starts and frame
+	// end — but per-broadcast cost stops growing with the interference
+	// disc, which is what makes 10k-node runs tractable (DESIGN.md §12).
+	CellNoise bool
 }
 
 // NewSINRMedium builds the medium. All nodes start enabled.
@@ -67,6 +96,11 @@ func NewSINRMedium(engine *sim.Engine, cfg SINRConfig) *SINRMedium {
 		plcpPreamble: cfg.PlcpPreambleSecs,
 		d:            cfg.Params.Derived(),
 	}
+	m.candRange = m.d.InterferenceRange
+	if cfg.CellNoise {
+		m.candRange = m.d.CarrierSenseRange
+		m.noise = newNoiseField(cfg.N, cfg.Side, m.d, cfg.MaxSpeed)
+	}
 	cell := m.d.CarrierSenseRange
 	m.world = newWorld(engine, cfg.N, cfg.Side, cell, cfg.Pos, cfg.MaxSpeed)
 	m.radios = make([]*sinrRadio, cfg.N)
@@ -74,6 +108,9 @@ func NewSINRMedium(engine *sim.Engine, cfg SINRConfig) *SINRMedium {
 		r := &sinrRadio{medium: m, id: i}
 		r.txDoneFn = r.txDone
 		m.radios[i] = r
+	}
+	m.evalFn = func(i int) {
+		m.evalPow[i] = m.d.ReceivedPowerMw(geom.Dist(m.evalSrc, m.evalPos[i]))
 	}
 	return m
 }
@@ -107,7 +144,7 @@ func (m *SINRMedium) SetExtraNoise(id int, mw float64) {
 	r := m.radios[id]
 	r.extraNoiseMw = mw
 	if r.locked != nil {
-		interference := r.totalPower() - r.locked.powerMw
+		interference := r.totalPower() - r.locked.powerMw + r.farNoise()
 		if r.locked.powerMw/(m.d.NoiseMw+mw+interference) < m.params.SINRCapture {
 			r.corrupted = true
 		}
@@ -126,11 +163,8 @@ type arrival struct {
 	frame   *Frame
 	powerMw float64
 	end     float64
-	// rx is the radio this arrival impinges on; endFn, built once per
-	// pooled object, invokes rx.signalEnd(this) so scheduling the end of
-	// the signal does not allocate a fresh closure per receiver.
-	rx    *sinrRadio
-	endFn func()
+	// rx is the radio this arrival impinges on.
+	rx *sinrRadio
 }
 
 // newArrival takes a recycled arrival from the pool (or allocates the
@@ -143,17 +177,57 @@ func (m *SINRMedium) newArrival(rx *sinrRadio, f *Frame, powerMw, end float64) *
 		m.arrivalFree = m.arrivalFree[:n-1]
 	} else {
 		a = &arrival{}
-		a.endFn = func() { a.rx.signalEnd(a) }
 	}
 	a.frame, a.powerMw, a.end, a.rx = f, powerMw, end, rx
 	return a
 }
 
-// freeArrival recycles an arrival whose end event has run, dropping the
+// freeArrival recycles an arrival whose signalEnd has run, dropping the
 // frame and radio references so they do not outlive the signal.
 func (m *SINRMedium) freeArrival(a *arrival) {
 	a.frame, a.rx = nil, nil
 	m.arrivalFree = append(m.arrivalFree, a)
+}
+
+// transmission is the per-broadcast record of every arrival a frame
+// produced, in creation (candidate) order. One engine event per
+// transmission walks the list at the frame's end time and runs each
+// receiver's signalEnd in that order — equivalent to the former
+// one-event-per-arrival scheme (the arrival end events were scheduled
+// back-to-back with consecutive sequence numbers, and no other event in the
+// system can tie their timestamp exactly), but with event-queue pressure
+// per broadcast reduced from O(receivers) to O(1).
+type transmission struct {
+	arrivals []*arrival
+	// endFn is the bound end-walk closure, created once per pooled record
+	// so scheduling the end of a transmission does not allocate.
+	endFn func()
+}
+
+// newTransmission takes a recycled transmission record from the pool.
+func (m *SINRMedium) newTransmission() *transmission {
+	if n := len(m.txFree); n > 0 {
+		t := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return t
+	}
+	t := &transmission{}
+	t.endFn = func() { m.endTransmission(t) }
+	return t
+}
+
+// endTransmission runs signalEnd for every arrival in creation order, then
+// recycles the record. The record returns to the pool only after the walk:
+// a handler inside signalEnd may synchronously transmit, and that nested
+// transmission must not grab this record while it is being iterated.
+func (m *SINRMedium) endTransmission(t *transmission) {
+	for i, a := range t.arrivals {
+		t.arrivals[i] = nil
+		a.rx.signalEnd(a)
+	}
+	t.arrivals = t.arrivals[:0]
+	m.txFree = append(m.txFree, t)
 }
 
 // sinrRadio is the per-node receiver state.
@@ -181,7 +255,10 @@ func (r *sinrRadio) SetHandler(h Handler) { r.handler = h }
 func (r *sinrRadio) TxDuration(f *Frame) float64 { return f.AirTime(r.medium.plcpPreamble) }
 
 // Busy implements Channel: carrier is busy while transmitting or while the
-// cumulative sensed power is at or above the carrier-sense threshold.
+// cumulative sensed power is at or above the carrier-sense threshold. Under
+// CellNoise the far field is deliberately excluded — carrier decisions stay
+// near-field-only so they remain consistent with the ChannelStateChanged
+// notifications (the far field generates no events to re-notify on).
 func (r *sinrRadio) Busy() bool {
 	m := r.medium
 	if m.engine.Now() < r.txUntil {
@@ -198,9 +275,20 @@ func (r *sinrRadio) totalPower() float64 {
 	return sum
 }
 
+// farNoise returns the cell-aggregated far-field interference power at this
+// radio's current position; zero in the exact model.
+func (r *sinrRadio) farNoise() float64 {
+	m := r.medium
+	if m.noise == nil {
+		return 0
+	}
+	return m.noise.farMwAt(m.world.pos(r.id))
+}
+
 func (r *sinrRadio) reset() {
-	// Dropped arrivals are not recycled here: each one's end event is
-	// still scheduled, and signalEnd is the single owner hand-off point.
+	// Dropped arrivals are not recycled here: each one is still reachable
+	// from its transmission's end walk, and signalEnd is the single owner
+	// hand-off point.
 	r.active = r.active[:0]
 	r.locked = nil
 	r.corrupted = false
@@ -208,7 +296,12 @@ func (r *sinrRadio) reset() {
 	r.updateCarrier()
 }
 
-// Transmit implements Channel.
+// Transmit implements Channel. It runs in three phases: a serial snapshot
+// of candidate ids and exact positions (position functions are stateful, so
+// they are never called concurrently), a pure power computation fanned out
+// through the engine's ParallelEval, and a serial commit that creates
+// arrivals in candidate order — so the mutation order, and therefore the
+// run, is bit-identical at any worker count.
 func (r *sinrRadio) Transmit(f *Frame) {
 	m := r.medium
 	if !m.Enabled(r.id) {
@@ -226,24 +319,57 @@ func (r *sinrRadio) Transmit(f *Frame) {
 	r.updateCarrier()
 
 	srcPos := m.world.pos(r.id)
+	if m.noise != nil {
+		m.noise.txStart(r.id, srcPos)
+	}
 	end := now + dur
-	for _, dst := range m.world.candidates(r.id, m.d.InterferenceRange) {
+
+	// Phase 1 (serial): snapshot candidates and exact positions.
+	m.evalDst = m.evalDst[:0]
+	m.evalPos = m.evalPos[:0]
+	for _, dst := range m.world.candidates(r.id, m.candRange) {
 		if dst == r.id {
 			continue
 		}
-		rx := m.radios[dst]
-		d := geom.Dist(srcPos, m.world.pos(dst))
-		p := m.d.ReceivedPowerMw(d)
+		m.evalDst = append(m.evalDst, dst)
+		m.evalPos = append(m.evalPos, m.world.pos(dst))
+	}
+	nc := len(m.evalDst)
+	if cap(m.evalPow) < nc {
+		m.evalPow = make([]float64, nc)
+	}
+	m.evalPow = m.evalPow[:nc]
+
+	// Phase 2 (parallel): pure per-candidate received-power computation.
+	m.evalSrc = srcPos
+	m.engine.ParallelEval(nc, m.evalFn)
+
+	// Phase 3 (serial commit): create arrivals in candidate order.
+	var tx *transmission
+	for i, dst := range m.evalDst {
+		p := m.evalPow[i]
 		if p < m.d.CutoffMw {
 			continue
 		}
+		rx := m.radios[dst]
 		a := m.newArrival(rx, f, p, end)
+		if tx == nil {
+			tx = m.newTransmission()
+		}
+		tx.arrivals = append(tx.arrivals, a)
 		rx.signalBegin(a)
-		m.engine.At(end, a.endFn)
+	}
+	if tx != nil {
+		m.engine.At(end, tx.endFn)
 	}
 }
 
-func (r *sinrRadio) txDone() { r.updateCarrier() }
+func (r *sinrRadio) txDone() {
+	if m := r.medium; m.noise != nil {
+		m.noise.txEnd(r.id)
+	}
+	r.updateCarrier()
+}
 
 func (r *sinrRadio) signalBegin(a *arrival) {
 	m := r.medium
@@ -258,7 +384,7 @@ func (r *sinrRadio) signalBegin(a *arrival) {
 	case r.locked == nil:
 		// Try to lock onto the new signal: strong enough and clean
 		// enough at its start.
-		interference := r.totalPower() - a.powerMw
+		interference := r.totalPower() - a.powerMw + r.farNoise()
 		if a.powerMw >= m.d.RxThreshMw &&
 			a.powerMw/(m.d.NoiseMw+r.extraNoiseMw+interference) >= m.params.SINRCapture {
 			r.locked = a
@@ -267,7 +393,7 @@ func (r *sinrRadio) signalBegin(a *arrival) {
 	default:
 		// Already decoding: the newcomer is interference. If it pushes
 		// the locked signal's SINR below β, the frame is lost.
-		interference := r.totalPower() - r.locked.powerMw
+		interference := r.totalPower() - r.locked.powerMw + r.farNoise()
 		if r.locked.powerMw/(m.d.NoiseMw+r.extraNoiseMw+interference) < m.params.SINRCapture {
 			r.corrupted = true
 		}
@@ -287,6 +413,15 @@ func (r *sinrRadio) signalEnd(a *arrival) {
 	var deliver *Frame
 	if r.locked == a {
 		delivered := !r.corrupted && m.engine.Now() >= r.txUntil
+		if delivered && m.noise != nil {
+			// The far field raises no mid-frame events, so re-sample it at
+			// delivery: if the aggregate now swamps the locked signal, the
+			// frame did not survive the frame time.
+			interference := r.totalPower() + r.farNoise()
+			if a.powerMw/(m.d.NoiseMw+r.extraNoiseMw+interference) < m.params.SINRCapture {
+				delivered = false
+			}
+		}
 		if !delivered {
 			m.Corrupted++
 		}

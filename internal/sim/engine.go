@@ -23,6 +23,12 @@
 // TestEnginesIsolated enforces the invariant under the race detector; new
 // code must preserve it.
 //
+// The one sanctioned exception is ParallelEval (parallel.go): a synchronous
+// fan-out/join of a pure per-item evaluation inside a single event. Its
+// contract — no engine calls, no RNG, results consumed in index order after
+// the barrier — keeps runs bit-identical at any worker count, so it extends
+// the invariant rather than weakening it.
+//
 // # Event recycling
 //
 // Events are recycled through an engine-owned free list, so steady-state
@@ -125,6 +131,10 @@ type Engine struct {
 	free []*Event
 	// live counts queued events that are not cancelled.
 	live int
+	// workers is the ParallelEval fan-out width; pool holds the lazily
+	// started goroutines backing it (see parallel.go).
+	workers int
+	pool    *evalPool
 }
 
 // NewEngine returns an engine at time zero whose random source is seeded

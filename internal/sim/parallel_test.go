@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// evalOnce fills a result slice via ParallelEval with the given worker
+// setting, using a deliberately order-sensitive accumulation consumed in
+// index order afterwards, the way medium code does.
+func evalOnce(workers, n int) float64 {
+	e := NewEngine(1)
+	e.SetWorkers(workers)
+	defer e.StopWorkers()
+	out := make([]float64, n)
+	e.ParallelEval(n, func(i int) {
+		x := float64(i) * 1.000001
+		out[i] = math.Sin(x) / (1 + x*x)
+	})
+	// Serial index-order consumption: float addition is not associative, so
+	// any reordering of the merge would show up in the sum.
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// TestParallelEvalDeterministic pins the contract: results are bit-identical
+// at any worker count, for sizes below and far above the inline threshold.
+func TestParallelEvalDeterministic(t *testing.T) {
+	for _, n := range []int{0, 1, MinParallelItems - 1, MinParallelItems, 1000, 4097} {
+		want := evalOnce(0, n)
+		for _, workers := range []int{1, 2, 3, 8} {
+			if got := evalOnce(workers, n); got != want {
+				t.Fatalf("n=%d workers=%d: sum=%v, serial=%v", n, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelEvalCoversAllItems checks every index is evaluated exactly
+// once across chunk boundaries, including the ragged final chunk.
+func TestParallelEvalCoversAllItems(t *testing.T) {
+	for _, workers := range []int{2, 5, 8} {
+		for _, n := range []int{MinParallelItems, 100, 101, 257} {
+			e := NewEngine(1)
+			e.SetWorkers(workers)
+			hits := make([]int32, n)
+			e.ParallelEval(n, func(i int) { hits[i]++ })
+			e.StopWorkers()
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: item %d evaluated %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEvalInlineBelowThreshold pins that small batches never touch
+// the pool: no goroutines are started, so the call is safe from contexts
+// where the pool was stopped.
+func TestParallelEvalInlineBelowThreshold(t *testing.T) {
+	e := NewEngine(1)
+	e.SetWorkers(8)
+	n := MinParallelItems - 1
+	out := make([]bool, n)
+	e.ParallelEval(n, func(i int) { out[i] = true })
+	if e.pool != nil {
+		t.Fatalf("pool started for n=%d < MinParallelItems=%d", n, MinParallelItems)
+	}
+	for i, ok := range out {
+		if !ok {
+			t.Fatalf("inline path skipped item %d", i)
+		}
+	}
+	e.StopWorkers()
+}
+
+// TestSetStopWorkers exercises the lifecycle: resizing stops the old pool,
+// StopWorkers is idempotent, and ParallelEval restarts the pool on demand.
+func TestSetStopWorkers(t *testing.T) {
+	e := NewEngine(1)
+	if e.Workers() != 0 {
+		t.Fatalf("default Workers() = %d, want 0", e.Workers())
+	}
+	e.SetWorkers(-3)
+	if e.Workers() != 0 {
+		t.Fatalf("negative width clamped to %d, want 0", e.Workers())
+	}
+	e.SetWorkers(4)
+	e.ParallelEval(MinParallelItems, func(int) {})
+	if e.pool == nil {
+		t.Fatal("fanned-out call did not start the pool")
+	}
+	e.SetWorkers(2) // resize: old pool must be stopped
+	if e.pool != nil {
+		t.Fatal("resize left the old pool attached")
+	}
+	e.ParallelEval(MinParallelItems, func(int) {})
+	e.StopWorkers()
+	e.StopWorkers() // idempotent
+	// Usable again after stop.
+	e.ParallelEval(MinParallelItems, func(int) {})
+	e.StopWorkers()
+}
+
+// TestParallelEvalEnginesIsolated runs fanned-out evaluations on several
+// engines from separate goroutines concurrently — race-detector coverage for
+// the run-isolation invariant extended by per-engine pools.
+func TestParallelEvalEnginesIsolated(t *testing.T) {
+	const engines = 4
+	var wg sync.WaitGroup
+	sums := make([]float64, engines)
+	for k := 0; k < engines; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				sums[k] = evalOnce(2+k%3, 500)
+			}
+		}(k)
+	}
+	wg.Wait()
+	for k := 1; k < engines; k++ {
+		if sums[k] != sums[0] {
+			t.Fatalf("engine %d sum %v differs from engine 0 sum %v", k, sums[k], sums[0])
+		}
+	}
+}
