@@ -13,7 +13,7 @@
 
 GO ?= go
 
-.PHONY: build test check lint bench bench-sweep quick chaos mega-smoke
+.PHONY: build test check lint bench bench-sweep quick chaos mega-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build lint chaos
+check: build lint chaos load-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -60,6 +60,14 @@ bench:
 # scale trajectory rides along with the micro-benchmarks.
 mega-smoke:
 	$(GO) run ./cmd/pqexp -megashort mega | $(GO) run ./cmd/benchjson -merge -out BENCH.json
+
+# load-smoke runs the open-loop workload figure (DESIGN.md §13) on a
+# shortened horizon: Poisson and MMPP arrivals against every strategy mix
+# with the invariant checkers armed (any violation — including a pending-op
+# leak — makes the run nonzero and fails check). The per-mix throughput and
+# latency-percentile lines fold into BENCH.json alongside the other suites.
+load-smoke:
+	$(GO) run ./cmd/pqexp -loadshort load | $(GO) run ./cmd/benchjson -merge -out BENCH.json
 
 # bench-sweep surfaces only the parallel sweep executor's scaling.
 bench-sweep:

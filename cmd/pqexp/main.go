@@ -19,6 +19,13 @@
 // (wall clock, allocations, peak heap) on stdout for cmd/benchjson. Tune it
 // with -megan/-megashort/-workers. It is deliberately not part of "all".
 //
+// `pqexp load` runs the open-loop workload figure: Poisson and bursty MMPP
+// arrivals with Zipf/uniform keys against every strategy mix, reporting
+// throughput, exact p50/p99 op latency, shed/queue saturation, and load
+// skew, with invariant checkers armed. Per-mix go-bench metric lines on
+// stdout feed cmd/benchjson (`make load-smoke`); shrink it with -loadshort.
+// Like mega, it is not part of "all".
+//
 // By default it runs the quick profile (ideal link layer, scaled-down
 // sweep). Pass -full for the paper-scale configuration on the SINR stack
 // (slow: hours), or tune -stack/-seeds/-bign individually.
@@ -64,6 +71,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "per-engine parallel-phase width for PHY evaluation (0 = serial; results identical at any width)")
 	megaN := fs.Int("megan", 10000, "node count for the mega scale scenario")
 	megaShort := fs.Bool("megashort", false, "shrink the mega scenario's workload for smoke tests")
+	loadShort := fs.Bool("loadshort", false, "shrink the load figure's node count and duration for smoke tests")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering every figure run to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile taken after all figures to this file")
@@ -137,6 +145,15 @@ func run(args []string) error {
 			runMega(experiment.MegaConfig{N: *megaN, Seed: *seed, Workers: *workers, Horizon: megaHorizon(*megaShort)})
 			continue
 		}
+		if strings.EqualFold(f, "load") {
+			if err := runLoad(experiment.LoadConfig{
+				Seed: *seed, Parallel: *parallel, Workers: *workers,
+				Horizon: loadHorizon(*loadShort),
+			}); err != nil {
+				return err
+			}
+			continue
+		}
 		start := time.Now()
 		tables, err := runFigure(f, p, *seed)
 		if err != nil {
@@ -166,6 +183,33 @@ func megaHorizon(short bool) float64 {
 		return 0.15
 	}
 	return 1
+}
+
+func loadHorizon(short bool) float64 {
+	if short {
+		return 0.2
+	}
+	return 1
+}
+
+// runLoad executes the open-loop load figure and prints the data table
+// (bit-identical at any -parallel/-workers) followed by one go-bench
+// metrics line per strategy mix for cmd/benchjson. Any invariant violation
+// — the checkers run armed, including the pending-op drain assertion — is
+// an error, making `make load-smoke` a CI gate and not just a report.
+func runLoad(lc experiment.LoadConfig) error {
+	results := experiment.RunLoad(lc)
+	fmt.Println(experiment.LoadTable(lc, results))
+	violations := 0
+	for _, r := range results {
+		fmt.Println(r.BenchLine())
+		violations += r.Report.Violations
+	}
+	fmt.Println()
+	if violations > 0 {
+		return fmt.Errorf("load: %d invariant violations (see table)", violations)
+	}
+	return nil
 }
 
 // runMega executes the scale scenario and prints both the human table and

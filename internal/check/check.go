@@ -71,6 +71,12 @@ type Report struct {
 	// Outstanding is the number of operations still unresolved when
 	// Final was called; nonzero means the run was not drained.
 	Outstanding int
+	// LeakedLookups and LeakedAds count ops still in the quorum system's
+	// pending maps past their settlement horizon when Final was called.
+	// Ops inside their horizon (e.g. a re-advertise in flight) don't
+	// count; a nonzero value is a leaked op-termination path (under
+	// open-loop load, unbounded memory) and counts as a violation.
+	LeakedLookups, LeakedAds int
 }
 
 // OK reports whether the run was violation-free.
@@ -225,6 +231,23 @@ func (s *Suite) Final() Report {
 			Detail:    fmt.Sprintf("%d operations never resolved", s.outstanding),
 		})
 	}
+	// Pending-map drain: any op still registered past its settlement
+	// horizon (the lookup retry ladder, the advertise deadline) has a
+	// broken termination path. It catches leaks the callback-based check
+	// cannot: ops tracked outside the suite (e.g. the workload engine's)
+	// whose s.lookups/s.ads entries survive their own termination path.
+	// Ops inside their horizon don't count — periodic re-advertising
+	// legitimately keeps some in flight at any instant.
+	leakedLk, leakedAds := s.sys.LeakedOps()
+	if leakedLk+leakedAds > 0 {
+		violations++
+		details = append(details[:len(details):len(details)], Violation{
+			Time:      s.engine.Now(),
+			Invariant: "pending-op-leak",
+			Detail: fmt.Sprintf("%d lookups and %d advertises still pending past their timeout horizon",
+				leakedLk, leakedAds),
+		})
+	}
 	return Report{
 		Violations:    violations,
 		Details:       details,
@@ -237,6 +260,8 @@ func (s *Suite) Final() Report {
 		StaleReads:    s.stale,
 		MissedReads:   s.missed,
 		Outstanding:   s.outstanding,
+		LeakedLookups: leakedLk,
+		LeakedAds:     leakedAds,
 	}
 }
 

@@ -214,6 +214,12 @@ type Result struct {
 	// Decay holds the per-time-bucket lookup outcomes when
 	// DecayBucketSecs is set (counts are sums over merged runs).
 	Decay []DecayPoint
+	// LeakedOps counts operations still registered in the quorum system's
+	// pending maps after the final drain (summed over merged runs) — the
+	// drain assertion of the op-termination leak audit. Any nonzero value
+	// is a leaked termination path: under open-loop load it is unbounded
+	// memory, so tests gate it at exactly zero.
+	LeakedOps float64
 	// Runs is how many seeds were averaged.
 	Runs int
 }
@@ -452,6 +458,11 @@ func Run(sc Scenario) Result {
 	lkDiff := net.Stats().DiffSince(lkStart)
 
 	res := Result{Runs: 1, Counters: sys.Counters(), Decay: decay}
+	// Drain assertion: nothing may remain pending past its settlement
+	// horizon (ops still inside it — e.g. from a re-advertise tick during
+	// the drain tail — are in flight, not leaked).
+	leakedLk, leakedAds := sys.LeakedOps()
+	res.LeakedOps = float64(leakedLk + leakedAds)
 	res.AvgHopLatency = net.Stats().Latency(netstack.LatHop).Mean()
 	res.LossDrops = float64(net.Stats().Get(netstack.CtrLossDrops))
 	if proc != nil {

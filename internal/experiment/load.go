@@ -1,0 +1,331 @@
+//pqlint:allow nowallclock(load records per-mix wall clock for its bench lines only; the data table and every simulation outcome depend solely on the seed)
+
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"probquorum/internal/check"
+	"probquorum/internal/netstack"
+	"probquorum/internal/quorum"
+	"probquorum/internal/workload"
+)
+
+// The load figure is the open-loop throughput study the paper never ran:
+// instead of the closed-loop one-op-at-a-time phases of Section 8, every
+// node issues quorum operations from an arrival process (Poisson or bursty
+// MMPP) against a bounded in-flight window, whether or not earlier ops have
+// finished. Per strategy mix it reports sustained throughput, exact p50/p99
+// operation latency from the netstack's log-scale histogram (phase-diffed,
+// so warmup and seeding never pollute the percentiles), the shed/queue
+// saturation accounting, and two load-skew views — issue-side (max/mean ops
+// issued per node) and serve-side (max/mean lookup answers produced per
+// node) — alongside the owner/bystander cache-hit split. Invariant checkers
+// run armed throughout, including the pending-op drain assertion.
+//
+// The stack is ideal links + oracle routing: Section 4.1's framing isolates
+// the quorum layer's cost of *using* routes, which is what differentiates
+// the strategies under load; the SINR stack would measure MAC contention
+// instead.
+
+// LoadConfig sizes a load run. Zero values take scale-appropriate defaults.
+type LoadConfig struct {
+	// N is the node count (default 300).
+	N int
+	// Seed drives all randomness.
+	Seed int64
+	// Parallel is the worker-pool width across strategy mixes (0 = all
+	// cores). The data table is bit-identical at any setting.
+	Parallel int
+	// Workers is the per-engine parallel-phase width (0 = serial).
+	Workers int
+	// RatePerNode is each node's mean arrival rate in ops/sec (default
+	// 0.5; the MMPP mix bursts at 4× with 1:3 on/off sojourns to match
+	// this mean).
+	RatePerNode float64
+	// DurationSecs is the issue-phase length (default 120).
+	DurationSecs float64
+	// Keys is the key-space size (default 64); every key is advertised
+	// once before the load phase so reads can hit from the first arrival.
+	Keys int
+	// WriteFraction is the advertise share of arrivals (default 0.1).
+	WriteFraction float64
+	// MaxInFlight is the per-node window (default 8; queue limit is the
+	// workload package's 2× default).
+	MaxInFlight int
+	// Horizon scales the run down for smoke tests: node count and
+	// duration shrink by min(1, Horizon) when in (0,1).
+	Horizon float64
+}
+
+func (lc *LoadConfig) fillDefaults() {
+	if lc.N == 0 {
+		lc.N = 300
+	}
+	if lc.RatePerNode == 0 {
+		lc.RatePerNode = 0.5
+	}
+	if lc.DurationSecs == 0 {
+		lc.DurationSecs = 120
+	}
+	if lc.Keys == 0 {
+		lc.Keys = 64
+	}
+	if lc.WriteFraction == 0 {
+		lc.WriteFraction = 0.1
+	}
+	if lc.MaxInFlight == 0 {
+		lc.MaxInFlight = 8
+	}
+	if lc.Horizon <= 0 || lc.Horizon > 1 {
+		lc.Horizon = 1
+	}
+	if lc.Horizon < 1 {
+		lc.N = int(float64(lc.N) * lc.Horizon)
+		if lc.N < 40 {
+			lc.N = 40
+		}
+		lc.DurationSecs *= lc.Horizon
+		if lc.DurationSecs < 15 {
+			lc.DurationSecs = 15
+		}
+	}
+}
+
+// loadMix is one strategy/traffic combination of the figure.
+type loadMix struct {
+	name    string
+	adv, lk quorum.Strategy
+	arrival workload.Arrival
+	keyDist workload.KeyDist
+}
+
+// loadMixes is the figure's fixed mix axis: the four lookup strategies that
+// behave differently under concurrent load (Poisson/Zipf), plus the same
+// baseline mix under uniform keys and under bursty MMPP arrivals.
+func loadMixes() []loadMix {
+	return []loadMix{
+		{"RANDOM × RANDOM", quorum.Random, quorum.Random, workload.Poisson, workload.Zipf},
+		{"RANDOM × RANDOM-OPT", quorum.Random, quorum.RandomOpt, workload.Poisson, workload.Zipf},
+		{"RANDOM × UNIQUE-PATH", quorum.Random, quorum.UniquePath, workload.Poisson, workload.Zipf},
+		{"RANDOM × EXPANDING-RING", quorum.Random, quorum.ExpandingRing, workload.Poisson, workload.Zipf},
+		{"RANDOM × RANDOM / uniform", quorum.Random, quorum.Random, workload.Poisson, workload.Uniform},
+		{"RANDOM × RANDOM / mmpp", quorum.Random, quorum.Random, workload.MMPP, workload.Zipf},
+	}
+}
+
+// LoadMixResult is one mix's outcomes. Every field except WallSecs is a
+// pure function of (LoadConfig, mix, seed).
+type LoadMixResult struct {
+	Mix     string
+	Arrival workload.Arrival
+	KeyDist workload.KeyDist
+	// WL is the generator's issue/complete/queue/shed accounting.
+	WL workload.Stats
+	// OpsPerSec is completed operations per simulated second of the issue
+	// phase — the sustained throughput.
+	OpsPerSec float64
+	// P50 and P99 are operation-latency quantiles in seconds, from the
+	// load phase's histogram diff.
+	P50, P99 float64
+	// HitRatio is hits over completed reads.
+	HitRatio float64
+	// IssueSkew is max/mean ops issued per node; ServeSkew is max/mean
+	// lookup answers produced per node (the paper's load-balance concern,
+	// measured on the server side).
+	IssueSkew, ServeSkew float64
+	// OwnerHits / CacheHits split answers by owner vs bystander cache.
+	OwnerHits, CacheHits int
+	// Report is the armed invariant suite's verdict (incl. op drain).
+	Report check.Report
+	// WallSecs is the mix's real elapsed time (bench lines only; not in
+	// the data table).
+	WallSecs float64
+}
+
+// benchToken makes a mix name usable inside a go-bench benchmark name:
+// lower-case, '×' → 'x', runs of anything non-alphanumeric collapse to '-'.
+func benchToken(name string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(strings.ReplaceAll(name, "×", "x")) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	return b.String()
+}
+
+// BenchLine renders the mix in go-bench format for cmd/benchjson: one
+// iteration whose ns/op is the mix's wall clock, plus the throughput,
+// latency, saturation, and skew metrics as custom units.
+func (r LoadMixResult) BenchLine() string {
+	return fmt.Sprintf("BenchmarkLoad/mix=%s/arrival=%v 1 %d ns/op %.1f ops/sec %.2f p50-ms %.2f p99-ms %d shed %.3f serve-skew",
+		benchToken(r.Mix), r.Arrival, int64(r.WallSecs*1e9),
+		r.OpsPerSec, r.P50*1e3, r.P99*1e3, r.WL.Shed, r.ServeSkew)
+}
+
+// RunLoad executes every mix of the load figure on a pool of lc.Parallel
+// workers. Results are in mix order and bit-identical at any Parallel or
+// Workers setting: each mix owns an isolated stack and the merge is by
+// index.
+func RunLoad(lc LoadConfig) []LoadMixResult {
+	lc.fillDefaults()
+	mixes := loadMixes()
+	out := make([]LoadMixResult, len(mixes))
+	// Background context never cancels, so the error is impossible.
+	_ = forEachJob(context.Background(), len(mixes), lc.Parallel, func(i int) {
+		start := time.Now()
+		out[i] = runLoadMix(lc, mixes[i])
+		out[i].WallSecs = time.Since(start).Seconds()
+	})
+	return out
+}
+
+// runLoadMix runs one strategy/traffic mix: warmup, a seeding phase that
+// advertises the whole key table, then the open-loop load phase with the
+// stats snapshot diffed around it.
+func runLoadMix(lc LoadConfig, m loadMix) LoadMixResult {
+	sc := Scenario{
+		N: lc.N, Stack: netstack.StackIdeal, Seed: lc.Seed,
+		Workers: lc.Workers, OracleRouting: true,
+	}
+	sc.Quorum = mixConfig(lc.N, m.adv, m.lk)
+	sc.fillDefaults()
+	engine, net, _, _, sys := buildStack(sc)
+	defer engine.StopWorkers()
+	rng := engine.NewStream()
+	suite := check.NewSuite(net, sys)
+
+	engine.Run(sc.WarmupSecs)
+
+	// Seeding: advertise every key the generator can draw (its table is
+	// "key-%d") so reads contend with real data from the first arrival.
+	for i := 0; i < lc.Keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		origin := net.RandomAliveID(rng)
+		engine.Schedule(float64(i)*0.25, func() {
+			suite.Advertise(origin, key, "v", nil)
+		})
+	}
+	engine.Run(engine.Now() + float64(lc.Keys)*0.25 + 30)
+
+	// Load phase. The issue wrapper times each op into the netstack's
+	// op-latency histogram; the snapshot diff below isolates this phase's
+	// samples, so seeding advertises never pollute the percentiles.
+	stats := net.Stats()
+	loadStart := stats.Snapshot()
+	issue := func(op workload.Op, done func(hit bool)) {
+		start := engine.Now()
+		if op.Write {
+			suite.Advertise(op.Node, op.Key, "v", func(quorum.AdvertiseResult) {
+				stats.Observe(netstack.LatOp, engine.Now()-start)
+				done(false)
+			})
+			return
+		}
+		suite.Lookup(op.Node, op.Key, func(r quorum.LookupResult) {
+			stats.Observe(netstack.LatOp, engine.Now()-start)
+			done(r.Hit)
+		})
+	}
+	nodes := make([]int, lc.N)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	wcfg := workload.Config{
+		Arrival: m.arrival, RatePerNode: lc.RatePerNode,
+		Keys: lc.Keys, KeyDist: m.keyDist,
+		WriteFraction: lc.WriteFraction, MaxInFlight: lc.MaxInFlight,
+		DurationSecs: lc.DurationSecs,
+	}
+	if m.arrival == workload.MMPP {
+		// Burst at 4× with 1:3 on/off sojourns: same mean rate as the
+		// Poisson mixes, strongly modulated.
+		wcfg.RatePerNode = 4 * lc.RatePerNode
+		wcfg.MeanOnSecs, wcfg.MeanOffSecs = 5, 15
+	}
+	gen := workload.New(engine, wcfg, nodes, issue)
+	gen.Start()
+
+	// Drain: a queued arrival can wait behind up to two windows of ops
+	// (queue limit 2× window), each bounded by the worst op horizon — the
+	// advertise deadline or the lookup timeout — so three serial waves
+	// cover everything the generator admitted.
+	qc := sys.Config()
+	horizon := qc.AdvertiseTimeoutSecs
+	if qc.LookupTimeout > horizon {
+		horizon = qc.LookupTimeout
+	}
+	engine.Run(engine.Now() + lc.DurationSecs + 3*horizon + 10)
+	diff := stats.DiffSince(loadStart)
+
+	ws := gen.Stats()
+	res := LoadMixResult{
+		Mix: m.name, Arrival: m.arrival, KeyDist: m.keyDist, WL: ws,
+		OpsPerSec: float64(ws.Completed) / lc.DurationSecs,
+		P50:       diff.LatencyQuantile(netstack.LatOp, 0.5),
+		P99:       diff.LatencyQuantile(netstack.LatOp, 0.99),
+		IssueSkew: gen.LoadSkew(),
+		ServeSkew: serveSkew(sys.ServedCounts()),
+	}
+	if ws.Reads > 0 {
+		res.HitRatio = float64(ws.Hits) / float64(ws.Reads)
+	}
+	ctr := sys.Counters()
+	res.OwnerHits, res.CacheHits = ctr.OwnerHits, ctr.CacheHits
+	res.Report = suite.Final()
+	return res
+}
+
+// serveSkew is max/mean over per-node serve counts (0 when nothing was
+// served).
+func serveSkew(counts []int64) float64 {
+	var max, sum int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) / (float64(sum) / float64(len(counts)))
+}
+
+// LoadTable renders the figure's data table. It contains no wall-clock
+// field, so the rendered text is bit-identical at any Parallel/Workers
+// setting — the property TestLoadFigureParallelDeterminism locks in.
+func LoadTable(lc LoadConfig, results []LoadMixResult) Table {
+	lc.fillDefaults()
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Mix, r.Arrival.String(), r.KeyDist.String(),
+			f1(r.OpsPerSec),
+			f2(r.P50 * 1e3), f2(r.P99 * 1e3),
+			f2(r.HitRatio),
+			fmt.Sprintf("%d/%d", r.WL.Queued, r.WL.Shed),
+			f2(r.IssueSkew), f2(r.ServeSkew),
+			fmt.Sprintf("%d/%d", r.OwnerHits, r.CacheHits),
+			istr(r.Report.Violations),
+		})
+	}
+	return Table{
+		Title: fmt.Sprintf("load — open-loop throughput by strategy mix, n=%d, %.2g ops/s/node × %.0fs, window %d",
+			lc.N, lc.RatePerNode, lc.DurationSecs, lc.MaxInFlight),
+		Header: []string{"mix", "arrival", "keys", "ops/sec", "p50 ms", "p99 ms", "hit", "queued/shed", "issue-skew", "serve-skew", "owner/cache", "violations"},
+		Rows:   rows,
+	}
+}

@@ -146,11 +146,15 @@ func mergeRuns(runs []Result) Result {
 		agg.Counters.PathReductions += one.Counters.PathReductions
 		agg.Counters.Adaptations += one.Counters.Adaptations
 		agg.Counters.CacheHits += one.Counters.CacheHits
+		agg.Counters.OwnerHits += one.Counters.OwnerHits
+		agg.Counters.AdvertiseTimeouts += one.Counters.AdvertiseTimeouts
 		agg.Counters.RingEscalations += one.Counters.RingEscalations
 		agg.Counters.OverhearReplies += one.Counters.OverhearReplies
 		agg.Counters.LookupRetries += one.Counters.LookupRetries
 		agg.Counters.Readvertises += one.Counters.Readvertises
 		agg.Counters.DeadOriginOps += one.Counters.DeadOriginOps
+		// Leak counts stay sums: any nonzero leak must survive averaging.
+		agg.LeakedOps += one.LeakedOps
 	}
 	f := float64(len(runs))
 	agg.HitRatio /= f

@@ -15,30 +15,82 @@ type NeighborProvider interface {
 }
 
 // oracleNeighbors computes neighborhoods geometrically from true positions —
-// the idealization of a perfectly fresh heartbeat protocol.
+// the idealization of a perfectly fresh heartbeat protocol. Two cache
+// layers keep it off the oracle router's critical path:
+//
+//   - positions live in a geom.Grid refreshed at most once per engine
+//     timestamp (a position is a pure function of (id, time), so within
+//     one timestamp the index is exact; a static network indexes once for
+//     the whole run), making one query O(degree) instead of O(n);
+//   - computed neighbor lists are memoized per (timestamp, aliveEpoch),
+//     so the router's per-hop BFS — which queries every visited node —
+//     recomputes each list at most once per event, and on a static
+//     network without churn exactly once per run.
+//
+// Together these take the per-hop BFS from O(n²) to amortized O(reached),
+// which is what lets open-loop load runs route 10⁵+ messages per figure.
 type oracleNeighbors struct {
-	net     *Network
-	scratch []int
+	net    *Network
+	grid   *geom.Grid
+	stamp  float64 // engine time of the last cache invalidation; -1 = never
+	epoch  uint64  // net.aliveEpoch at the last cache invalidation
+	static bool    // positions never change: the grid fills exactly once
+	lists  [][]int // memoized per-node neighbor lists
+	valid  []bool
+	cand   []int
 }
 
 func newOracleNeighbors(net *Network) *oracleNeighbors {
-	return &oracleNeighbors{net: net}
+	return &oracleNeighbors{
+		net:    net,
+		grid:   geom.NewGrid(net.N(), net.cfg.Side, net.Range()),
+		static: net.mob.MaxSpeed() == 0,
+		stamp:  -1,
+		lists:  make([][]int, net.N()),
+		valid:  make([]bool, net.N()),
+	}
+}
+
+// refresh invalidates the caches when time advanced or liveness changed,
+// and (re)fills the position grid when the invalidation was for time.
+func (o *oracleNeighbors) refresh() {
+	now := o.net.engine.Now()
+	if o.stamp >= 0 && o.epoch == o.net.aliveEpoch && (o.static || now <= o.stamp) {
+		return
+	}
+	if o.stamp < 0 || !o.static {
+		for id := 0; id < o.net.N(); id++ {
+			o.grid.Update(id, o.net.Position(id))
+		}
+	}
+	for i := range o.valid {
+		o.valid[i] = false
+	}
+	o.stamp, o.epoch = now, o.net.aliveEpoch
 }
 
 func (o *oracleNeighbors) Neighbors(id int) []int {
+	o.refresh()
+	if o.valid[id] {
+		return o.lists[id]
+	}
 	net := o.net
-	r2 := net.Range() * net.Range()
 	p := net.Position(id)
-	o.scratch = o.scratch[:0]
-	for other := range net.nodes {
-		if other == id || !net.alive[other] {
-			continue
-		}
-		if geom.Dist2(p, net.Position(other)) <= r2 {
-			o.scratch = append(o.scratch, other)
+	o.cand = o.grid.Within(p, net.Range(), o.cand[:0])
+	list := o.lists[id][:0]
+	for _, other := range o.cand {
+		if other != id && net.alive[other] {
+			list = append(list, other)
 		}
 	}
-	return o.scratch
+	// The pre-grid implementation scanned ids in ascending order, and BFS
+	// tie-breaking — hence every oracle-routed run's exact outcome —
+	// depends on neighbor order. Sort to stay bit-identical with recorded
+	// results; grids return cell order otherwise.
+	sort.Ints(list)
+	o.lists[id] = list
+	o.valid[id] = true
+	return list
 }
 
 // beaconBytes is the size of a heartbeat beacon payload.

@@ -127,6 +127,10 @@ type Network struct {
 	nodes  []*Node
 	alive  []bool
 	nAlive int
+	// aliveEpoch increments on every Fail/Revive; the oracle neighbor
+	// provider keys its adjacency cache on it, so liveness flips that
+	// happen without time advancing still invalidate cached lists.
+	aliveEpoch uint64
 
 	medium    phy.Medium    // nil for the ideal stack
 	ideal     *mac.IdealNet // nil for SINR/disk stacks
@@ -505,6 +509,7 @@ func (net *Network) Fail(id int) {
 	}
 	net.alive[id] = false
 	net.nAlive--
+	net.aliveEpoch++
 	net.setMediumEnabled(id, false)
 }
 
@@ -515,6 +520,7 @@ func (net *Network) Revive(id int) {
 	}
 	net.alive[id] = true
 	net.nAlive++
+	net.aliveEpoch++
 	net.setMediumEnabled(id, true)
 }
 

@@ -153,9 +153,7 @@ func (s *System) handleDirect(n *netstack.Node, m *directMsg) {
 		return // member does not hold the key: no reply (Section 8)
 	}
 	s.markIntersected(m.Op)
-	if !s.stores[n.ID()].Owner(m.Key) {
-		s.counters.CacheHits++
-	}
+	s.recordServe(n.ID(), m.Key)
 	s.sendRoutedReply(n.ID(), m.Op, m.Key, value)
 }
 

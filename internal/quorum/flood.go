@@ -93,9 +93,7 @@ func (s *System) handleFlood(n *netstack.Node, pkt *netstack.Packet, m *floodMsg
 	} else if value, ok := s.stores[n.ID()].Get(m.Key); ok {
 		// Even nodes at the flood's TTL boundary reply (Section 8.4).
 		s.markIntersected(m.Op)
-		if !s.stores[n.ID()].Owner(m.Key) {
-			s.counters.CacheHits++
-		}
+		s.recordServe(n.ID(), m.Key)
 		if lk := s.lookups[s.resolve(m.Op)]; lk != nil && !lk.finished {
 			r := &replyMsg{Op: m.Op, Key: m.Key, Value: value, Flood: true}
 			s.forwardFloodReply(n, r)

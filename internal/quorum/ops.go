@@ -9,7 +9,18 @@ import (
 
 // OpRef is an opaque handle to an issued operation, usable to query
 // per-operation diagnostics such as flood coverage.
-type OpRef struct{ id opID }
+type OpRef struct {
+	id opID
+	ok bool
+}
+
+// Valid reports whether the ref names an operation that was actually
+// launched. Operations rejected at issue time (dead origin) return an
+// invalid ref: their done callback still fires with a zero-value result,
+// but the op was never registered, so diagnostics like FloodCoverage
+// would silently return zeros indistinguishable from a real op's. Callers
+// holding an invalid ref know not to interpret those zeros.
+func (r OpRef) Valid() bool { return r.ok }
 
 // Advertise publishes key→value from node origin to an advertise quorum
 // using the configured strategy. done (may be nil) fires when the quorum
@@ -26,8 +37,13 @@ func (s *System) Advertise(origin int, key, value string, done func(AdvertiseRes
 		return OpRef{id: op}
 	}
 	s.owned[ownedKey{origin: origin, key: key}] = value
-	ad := &pendingAdvertise{id: op, done: done, storedAt: make(map[int]bool)}
+	ad := &pendingAdvertise{id: op, done: done, issued: s.engine.Now(), storedAt: make(map[int]bool)}
 	s.ads[op] = ad
+	// Deadline against quorum accesses that never reach a terminal event
+	// (e.g. a walk frame dropped at a receiver): force-settle with the
+	// placements achieved so far, so s.ads drains and done always fires.
+	ad.timer = sim.NewTimer(s.engine, func() { s.advertiseDeadline(op) })
+	ad.timer.Reset(s.cfg.AdvertiseTimeoutSecs)
 	switch s.cfg.AdvertiseStrategy {
 	case Random, RandomOpt:
 		s.advertiseRandom(origin, op, key, value)
@@ -47,7 +63,7 @@ func (s *System) Advertise(origin int, key, value string, done func(AdvertiseRes
 	default:
 		panic(fmt.Sprintf("quorum: unknown advertise strategy %v", s.cfg.AdvertiseStrategy))
 	}
-	return OpRef{id: op}
+	return OpRef{id: op, ok: true}
 }
 
 // Lookup searches for key from node origin using the configured strategy.
@@ -75,15 +91,13 @@ func (s *System) Lookup(origin int, key string, done func(LookupResult)) OpRef {
 	// The originator includes itself in the lookup quorum (Section 8.3).
 	if value, ok := s.stores[origin].Get(key); ok {
 		lk.intersected = true
-		if !s.stores[origin].Owner(key) {
-			s.counters.CacheHits++
-		}
+		s.recordServe(origin, key)
 		s.completeLookup(op, value)
-		return OpRef{id: op}
+		return OpRef{id: op, ok: true}
 	}
 
 	s.dispatchLookup(origin, op, key, false)
-	return OpRef{id: op}
+	return OpRef{id: op, ok: true}
 }
 
 // dispatchLookup launches one lookup quorum access for op using the
@@ -153,7 +167,7 @@ func (s *System) LookupCollect(origin int, key string, window float64, done func
 	}
 
 	s.dispatchLookup(origin, op, key, true)
-	return OpRef{id: op}
+	return OpRef{id: op, ok: true}
 }
 
 // finishCollect closes a collect-mode lookup at the end of its window.
@@ -188,6 +202,9 @@ func (s *System) overhearTap(n *netstack.Node, pkt *netstack.Packet, _ int) {
 	}
 	s.markIntersected(m.Op)
 	s.counters.OverhearReplies++
+	// An overheard answer is load served at this node, but it keeps its own
+	// counter rather than folding into the owner/bystander hit split.
+	s.served[n.ID()]++
 	// Reply along the overheard walk's path, extended with ourselves; the
 	// first hop is the frame's sender, necessarily a direct neighbor.
 	path := append(append(make([]int, 0, len(m.Visited)+1), m.Visited...), n.ID())
@@ -306,9 +323,7 @@ func (s *System) retryLookup(op opID) {
 	// A cached reply may have landed since the first attempt.
 	if value, ok := s.stores[origin].Get(lk.key); ok {
 		lk.intersected = true
-		if !s.stores[origin].Owner(lk.key) {
-			s.counters.CacheHits++
-		}
+		s.recordServe(origin, lk.key)
 		s.completeLookup(op, value)
 		return
 	}
@@ -328,6 +343,27 @@ func (s *System) advertiseSettled(op opID) {
 	if ad.pending > 0 {
 		return
 	}
+	ad.finished = true
+	ad.timer.Cancel()
+	delete(s.ads, op)
+	s.releaseOpState(op)
+	if ad.done != nil {
+		ad.done(ad.res)
+	}
+}
+
+// advertiseDeadline fires when an advertise has been pending for the full
+// AdvertiseTimeoutSecs: its quorum access lost a terminal event (a walk or
+// sampling frame dropped at a receiver leaves no one to call
+// advertiseSettled), so settle it now with whatever placements landed.
+// Without this, the op leaks in s.ads forever and its done callback never
+// fires — fatal under open-loop load.
+func (s *System) advertiseDeadline(op opID) {
+	ad := s.ads[op]
+	if ad == nil || ad.finished {
+		return
+	}
+	s.counters.AdvertiseTimeouts++
 	ad.finished = true
 	delete(s.ads, op)
 	s.releaseOpState(op)

@@ -135,6 +135,15 @@ type Config struct {
 	// LookupTimeout bounds how long a lookup waits for a reply before
 	// reporting a miss (seconds).
 	LookupTimeout float64
+	// AdvertiseTimeoutSecs bounds how long an advertise may stay pending
+	// before it is force-settled with whatever placements it achieved
+	// (default 60). Walk-carried advertises (PATH, UNIQUE-PATH,
+	// RANDOM-SAMPLING) settle when the walk terminates — but a walk frame
+	// dropped at a receiver (loss, partition, injected fault) vanishes
+	// without any terminal event, which would otherwise leave the
+	// operation pending forever: a callback that never fires and, under
+	// open-loop load, an unbounded s.ads leak.
+	AdvertiseTimeoutSecs float64
 	// LookupRetries is how many times a timed-out lookup is retried with a
 	// freshly drawn quorum before reporting the miss — the client-side
 	// recovery for the degradation of Section 6.1. Zero disables retries.
@@ -230,6 +239,14 @@ type Counters struct {
 	Adaptations int
 	// CacheHits counts lookups answered from a bystander cache.
 	CacheHits int
+	// OwnerHits counts lookups answered by a node that owns the key (a
+	// true advertise-quorum member, not a bystander cache) — the
+	// owner/bystander split the load figure reports.
+	OwnerHits int
+	// AdvertiseTimeouts counts advertises force-settled by the
+	// AdvertiseTimeoutSecs deadline because a quorum access (typically a
+	// walk whose frame was dropped at a receiver) never terminated.
+	AdvertiseTimeouts int
 	// RingEscalations counts expanding-ring rounds beyond the first.
 	RingEscalations int
 	// OverhearReplies counts walk lookups answered by promiscuous
@@ -274,6 +291,10 @@ type System struct {
 	floodPrev     map[opID]map[int]int
 	floodCoverage map[opID]int
 
+	// served counts lookup answers produced per node (owner and bystander
+	// alike) — the server-side load behind the load figure's skew metric.
+	served []int64
+
 	counters Counters
 }
 
@@ -314,6 +335,10 @@ type pendingAdvertise struct {
 	done     func(AdvertiseResult)
 	pending  int // outstanding member contacts (Random) or 1 while walk alive
 	finished bool
+	issued   float64
+	// timer is the AdvertiseTimeoutSecs deadline that force-settles the
+	// op if its quorum access never reaches a terminal event.
+	timer *sim.Timer
 	// storedAt tracks the distinct nodes this operation has written.
 	storedAt map[int]bool
 }
@@ -338,6 +363,7 @@ func New(net *netstack.Network, routing aodv.Router, members *membership.Service
 		owned:         make(map[ownedKey]string),
 		floodPrev:     make(map[opID]map[int]int),
 		floodCoverage: make(map[opID]int),
+		served:        make([]int64, net.N()),
 	}
 	needsRouting := cfg.AdvertiseStrategy == Random || cfg.AdvertiseStrategy == RandomOpt ||
 		cfg.LookupStrategy == Random || cfg.LookupStrategy == RandomOpt ||
@@ -398,6 +424,9 @@ func applyDefaults(cfg *Config, n int) {
 	if cfg.LookupTimeout == 0 {
 		cfg.LookupTimeout = 30
 	}
+	if cfg.AdvertiseTimeoutSecs == 0 {
+		cfg.AdvertiseTimeoutSecs = 60
+	}
 	if cfg.SerialStepTimeoutSecs == 0 {
 		cfg.SerialStepTimeoutSecs = 2
 	}
@@ -453,6 +482,61 @@ func (s *System) Store(id int) *Store { return s.stores[id] }
 
 // Counters returns protocol diagnostics accumulated so far.
 func (s *System) Counters() Counters { return s.counters }
+
+// recordServe tallies one lookup answer produced at node id: the
+// owner/bystander split feeds the OwnerHits/CacheHits counters, and the
+// per-node count feeds the load-skew metric.
+func (s *System) recordServe(id int, key string) {
+	if !s.stores[id].Owner(key) {
+		s.counters.CacheHits++
+	} else {
+		s.counters.OwnerHits++
+	}
+	s.served[id]++
+}
+
+// ServedCounts returns per-node lookup-answer counts (indexed by node id):
+// the server-side load distribution whose max/mean skew the load figure
+// reports, GeoQuorum's load-balance motivation measured directly.
+func (s *System) ServedCounts() []int64 { return s.served }
+
+// PendingOps reports how many lookup and advertise operations are still
+// registered in the pending maps. After a run has fully drained (every
+// issued op's timeout horizon has passed) both must be zero; a nonzero
+// count is a leaked op-termination path — under open-loop load, unbounded
+// memory. The check package asserts this in Suite.Final.
+func (s *System) PendingOps() (lookups, ads int) {
+	return len(s.lookups), len(s.ads)
+}
+
+// LeakedOps counts pending ops past the horizon at which their termination
+// path must have settled them: the full retry/backoff ladder plus one
+// timeout for lookups, AdvertiseTimeoutSecs for advertises. Unlike
+// PendingOps it is meaningful at any instant — a pending entry inside its
+// horizon is an op in flight (periodic re-advertising keeps some in flight
+// forever), one beyond it is a leaked termination path, and under
+// open-loop load, unbounded memory. The check package asserts zero in
+// Suite.Final.
+func (s *System) LeakedOps() (lookups, ads int) {
+	now := s.engine.Now()
+	horizon := s.cfg.LookupTimeout
+	backoff := s.cfg.RetryBackoffSecs
+	for r := 0; r < s.cfg.LookupRetries; r++ {
+		horizon += backoff + s.cfg.LookupTimeout
+		backoff *= 2
+	}
+	for _, lk := range s.lookups {
+		if now > lk.issued+horizon {
+			lookups++
+		}
+	}
+	for _, ad := range s.ads {
+		if now > ad.issued+s.cfg.AdvertiseTimeoutSecs {
+			ads++
+		}
+	}
+	return lookups, ads
+}
 
 // nodeDispatch adapts netstack handler dispatch to the System.
 type nodeDispatch struct{ s *System }

@@ -72,9 +72,7 @@ func (s *System) handleWalk(n *netstack.Node, _ *netstack.Packet, m *walkMsg) {
 	} else if value, ok := s.stores[u].Get(m.Key); ok {
 		// Lookup hit at this node.
 		s.markIntersected(m.Op)
-		if !s.stores[u].Owner(m.Key) {
-			s.counters.CacheHits++
-		}
+		s.recordServe(u, m.Key)
 		if lk := s.lookups[s.resolve(m.Op)]; lk != nil && !lk.finished {
 			s.sendWalkReply(n, next, value)
 		}
