@@ -13,7 +13,7 @@
 
 GO ?= go
 
-.PHONY: build test check lint bench bench-sweep quick chaos mega-smoke load-smoke
+.PHONY: build test check lint bench bench-sweep quick chaos mega-smoke load-smoke adapt-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build lint chaos load-smoke
+check: build lint chaos load-smoke adapt-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -68,6 +68,15 @@ mega-smoke:
 # latency-percentile lines fold into BENCH.json alongside the other suites.
 load-smoke:
 	$(GO) run ./cmd/pqexp -loadshort load | $(GO) run ./cmd/benchjson -merge -out BENCH.json
+
+# adapt-smoke runs the adaptive-sizing chaos figure (DESIGN.md §14) on a
+# shortened horizon: static vs closed-loop quorum sizing under mass-join,
+# mass-failure, and ramp drifts, with the invariant checkers (incl. the
+# controller's resize-bounds watch and the pending-op drain) armed and
+# fatal. The per-drift settled-intersection and message-cost lines fold
+# into BENCH.json alongside the other suites.
+adapt-smoke:
+	$(GO) run ./cmd/pqexp -adaptshort adapt | $(GO) run ./cmd/benchjson -merge -out BENCH.json
 
 # bench-sweep surfaces only the parallel sweep executor's scaling.
 bench-sweep:

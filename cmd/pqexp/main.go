@@ -72,6 +72,7 @@ func run(args []string) error {
 	megaN := fs.Int("megan", 10000, "node count for the mega scale scenario")
 	megaShort := fs.Bool("megashort", false, "shrink the mega scenario's workload for smoke tests")
 	loadShort := fs.Bool("loadshort", false, "shrink the load figure's node count and duration for smoke tests")
+	adaptShort := fs.Bool("adaptshort", false, "shrink the adapt figure's duration for smoke tests")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile covering every figure run to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile taken after all figures to this file")
@@ -154,6 +155,15 @@ func run(args []string) error {
 			}
 			continue
 		}
+		if strings.EqualFold(f, "adapt") {
+			if err := runAdapt(experiment.AdaptFigConfig{
+				Seeds: *seeds, Seed: *seed, Parallel: *parallel, Workers: *workers,
+				Horizon: adaptHorizon(*adaptShort),
+			}); err != nil {
+				return err
+			}
+			continue
+		}
 		start := time.Now()
 		tables, err := runFigure(f, p, *seed)
 		if err != nil {
@@ -192,6 +202,13 @@ func loadHorizon(short bool) float64 {
 	return 1
 }
 
+func adaptHorizon(short bool) float64 {
+	if short {
+		return 0.2
+	}
+	return 1
+}
+
 // runLoad executes the open-loop load figure and prints the data table
 // (bit-identical at any -parallel/-workers) followed by one go-bench
 // metrics line per strategy mix for cmd/benchjson. Any invariant violation
@@ -208,6 +225,36 @@ func runLoad(lc experiment.LoadConfig) error {
 	fmt.Println()
 	if violations > 0 {
 		return fmt.Errorf("load: %d invariant violations (see table)", violations)
+	}
+	return nil
+}
+
+// runAdapt executes the adaptive-sizing chaos figure and prints one
+// trajectory table per drift shape (bit-identical at any
+// -parallel/-workers) followed by a go-bench metrics line per drift for
+// cmd/benchjson. Invariant violations or leaked ops — the checkers run
+// armed, including the controller's resize-bounds watch — are an error, so
+// `make adapt-smoke` gates CI instead of just reporting.
+func runAdapt(ac experiment.AdaptFigConfig) error {
+	results := experiment.RunAdapt(ac)
+	violations := 0
+	leaked := 0.0
+	for _, r := range results {
+		fmt.Println(r.Table())
+		violations += r.Static.Violations + r.Adaptive.Violations
+		leaked += r.Static.LeakedOps + r.Adaptive.LeakedOps
+		for _, v := range []experiment.AdaptVariantResult{r.Static, r.Adaptive} {
+			if v.FirstViolation != "" {
+				fmt.Printf("# %s/%s first violation: %s\n", r.Drift, v.Variant, v.FirstViolation)
+			}
+		}
+	}
+	for _, r := range results {
+		fmt.Println(r.BenchLine())
+	}
+	fmt.Println()
+	if violations > 0 || leaked > 0 {
+		return fmt.Errorf("adapt: %d invariant violations, %.0f leaked ops", violations, leaked)
 	}
 	return nil
 }

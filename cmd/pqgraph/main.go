@@ -104,6 +104,13 @@ func run(args []string) error {
 		}
 		g := connected()
 		est, collisions := membership.EstimateN(g, rng, rng.Intn(*n), w, *n/2)
+		if collisions == 0 {
+			// Zero collisions bound the size from below but cannot pin
+			// it: report the honest "at least" instead of a fake point.
+			fmt.Printf("size estimate n=%d: %d walks, 0 collisions → n̂ ≥ %.0f (lower bound only; run more walks for a point estimate)\n",
+				*n, w, est)
+			break
+		}
 		fmt.Printf("size estimate n=%d: %d walks, %d collisions → n̂ = %.0f\n", *n, w, collisions, est)
 	case "diameter":
 		g := connected()

@@ -83,6 +83,19 @@ func RefreshIntervalFor(epsilon, minProb float64) float64 {
 	return f
 }
 
+// ReadvertiseInterval inverts the §6.1 decay bound into a refresh period —
+// the Timed-Quorum-style validity window after which advertisements must be
+// re-established. With churn replacing nodes at failRate per second in an
+// n-node network, the churned fraction reaches the tolerance f* =
+// RefreshIntervalFor(epsilon, minProb) after f*·n/failRate seconds. A
+// non-positive rate (no observed churn) returns +Inf: refresh is never due.
+func ReadvertiseInterval(epsilon, minProb, n, failRate float64) float64 {
+	if failRate <= 0 || n <= 0 {
+		return math.Inf(1)
+	}
+	return RefreshIntervalFor(epsilon, minProb) * n / failRate
+}
+
 // FaultTolerance is the size of the smallest node set whose crash disables
 // every quorum: for probabilistic quorums of size k√n it is n − k√n + 1 =
 // Ω(n) (Section 3).

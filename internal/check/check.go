@@ -187,6 +187,19 @@ func (s *Suite) Advertise(origin int, key, value string, done func(quorum.Advert
 	})
 }
 
+// WatchController arms the resize-bounds invariant on an adaptation
+// controller: every size pair it applies must stay inside [1, n] — a
+// controller that derives a zero, negative, or larger-than-network quorum
+// has a broken clamp, no matter how plausible its estimate was.
+func (s *Suite) WatchController(ctl *quorum.Controller) {
+	ctl.OnResize(func(advertiseSize, lookupSize int) {
+		if advertiseSize < 1 || lookupSize < 1 || advertiseSize > s.net.N() || lookupSize > s.net.N() {
+			s.violate("resize-bounds", "controller applied |Qa|=%d |Qℓ|=%d outside [1, %d]",
+				advertiseSize, lookupSize, s.net.N())
+		}
+	})
+}
+
 // conservationViolation checks that the netstack receive pipeline accounted
 // for every arriving frame, returning the breach if not.
 func (s *Suite) conservationViolation() *Violation {

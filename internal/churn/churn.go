@@ -80,7 +80,7 @@ type Process struct {
 	fresh   []int // never-lived slots, consumed in order
 	crashed []int // nodes this process failed, eligible for reboot
 
-	onFail, onJoin func(id int)
+	onFail, onJoin []func(id int)
 
 	running bool
 	stats   Stats
@@ -104,13 +104,15 @@ func New(net *netstack.Network, cfg Config) *Process {
 // nodes. The slice is owned by the process afterwards.
 func (p *Process) SetFreshPool(ids []int) { p.fresh = ids }
 
-// OnFail registers a hook invoked after each crash with the failed id.
-func (p *Process) OnFail(fn func(id int)) { p.onFail = fn }
+// OnFail appends a hook invoked after each crash with the failed id. Hooks
+// run in registration order; several layers may observe the same process
+// (e.g. a node-state reset and an adaptation controller's churn meter).
+func (p *Process) OnFail(fn func(id int)) { p.onFail = append(p.onFail, fn) }
 
-// OnJoin registers a hook invoked after each join with the started id. Use
-// it to reset the node's volatile state: a fresh node has none, and a
-// rebooted node lost its.
-func (p *Process) OnJoin(fn func(id int)) { p.onJoin = fn }
+// OnJoin appends a hook invoked after each join with the started id. Use it
+// to reset the node's volatile state: a fresh node has none, and a rebooted
+// node lost its. Hooks run in registration order.
+func (p *Process) OnJoin(fn func(id int)) { p.onJoin = append(p.onJoin, fn) }
 
 // Stats returns the action counts so far.
 func (p *Process) Stats() Stats { return p.stats }
@@ -179,8 +181,8 @@ func (p *Process) failOne() {
 	p.net.Fail(id)
 	p.crashed = append(p.crashed, id)
 	p.stats.Fails++
-	if p.onFail != nil {
-		p.onFail(id)
+	for _, fn := range p.onFail {
+		fn(id)
 	}
 }
 
@@ -202,7 +204,7 @@ func (p *Process) joinOne() {
 	}
 	p.net.Revive(id)
 	p.stats.Joins++
-	if p.onJoin != nil {
-		p.onJoin(id)
+	for _, fn := range p.onJoin {
+		fn(id)
 	}
 }

@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAdaptFigureParallelDeterminism locks in the adapt figure's
+// determinism contract: every per-drift result (wall clock aside) is
+// bit-identical whether the cells run on one worker or eight, serial or
+// parallel engine phases — the `pqexp adapt` data lines never depend on
+// -parallel or -workers.
+func TestAdaptFigureParallelDeterminism(t *testing.T) {
+	ac := AdaptFigConfig{Seeds: 1, Seed: 3, Horizon: 0.05}
+
+	serial := ac
+	serial.Parallel, serial.Workers = 1, 0
+	wide := ac
+	wide.Parallel, wide.Workers = 8, 2
+
+	a := RunAdapt(serial)
+	b := RunAdapt(wide)
+	for i := range a {
+		a[i].Static.WallSecs, b[i].Static.WallSecs = 0, 0
+		a[i].Adaptive.WallSecs, b[i].Adaptive.WallSecs = 0, 0
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("adapt results differ between parallel=1/workers=0 and parallel=8/workers=2:\n%+v\nvs\n%+v", a, b)
+	}
+
+	// The runs must be healthy: invariants clean (incl. the pending-op
+	// drain and the controller's resize-bounds watch), lookups flowing in
+	// every cell, and the adaptive variant's controller actually live.
+	for _, r := range a {
+		for _, v := range []AdaptVariantResult{r.Static, r.Adaptive} {
+			if v.Violations != 0 {
+				t.Fatalf("%s/%s: %d invariant violations, first: %s",
+					r.Drift, v.Variant, v.Violations, v.FirstViolation)
+			}
+			if v.LeakedOps > 0 {
+				t.Fatalf("%s/%s: %.0f leaked ops after drain", r.Drift, v.Variant, v.LeakedOps)
+			}
+			if v.Lookups == 0 {
+				t.Fatalf("%s/%s: no lookups issued", r.Drift, v.Variant)
+			}
+		}
+		if r.Static.Resizes != 0 {
+			t.Fatalf("%s: static variant recorded %.0f resizes", r.Drift, r.Static.Resizes)
+		}
+	}
+}

@@ -80,6 +80,9 @@ type Scenario struct {
 	// stale views get — §6.1's closed forms assume fresh membership, so the
 	// decay-validation runs shorten it.
 	MembershipRefreshSecs float64
+	// Estimation enables the membership layer's continuous network-size
+	// estimator (birthday-paradox over walk samples) for adaptive runs.
+	Estimation membership.EstimationConfig
 	// AdjustLookupSize recomputes |Qℓ| for the post-churn network size
 	// (Section 6.1's "adjusted" variant, used by Fig. 14(f)).
 	AdjustLookupSize bool
@@ -300,6 +303,7 @@ func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *memb
 	members := membership.New(net, membership.Config{
 		ViewSize:    membership.DefaultViewSize(sc.N),
 		RefreshSecs: sc.MembershipRefreshSecs,
+		Estimation:  sc.Estimation,
 	})
 	sys := quorum.New(net, routing, members, sc.Quorum)
 	for id := sc.N; id < total; id++ {

@@ -153,6 +153,8 @@ func mergeRuns(runs []Result) Result {
 		agg.Counters.LookupRetries += one.Counters.LookupRetries
 		agg.Counters.Readvertises += one.Counters.Readvertises
 		agg.Counters.DeadOriginOps += one.Counters.DeadOriginOps
+		agg.Counters.Resizes += one.Counters.Resizes
+		agg.Counters.ReadvertiseRetunes += one.Counters.ReadvertiseRetunes
 		// Leak counts stay sums: any nonzero leak must survive averaging.
 		agg.LeakedOps += one.LeakedOps
 	}

@@ -51,6 +51,11 @@ type Config struct {
 	// WalkLength is the RaWMS walk length for ModeRandomWalk (default
 	// n/2, the paper's mixing-time estimate for G²(n,r)).
 	WalkLength int
+	// Estimation configures the continuous network-size estimator
+	// (estimator.go). Disabled by default; enabling it must be the only
+	// way existing runs change, so its streams are created after every
+	// pre-existing one.
+	Estimation EstimationConfig
 }
 
 // Service maintains per-node membership views.
@@ -62,6 +67,17 @@ type Service struct {
 	// scratch is reused by Pick so the quorum hot path allocates only its
 	// result slice.
 	scratch []int
+
+	// Continuous estimation state (nil slices when disabled). gens counts
+	// each node's view refreshes: quorum draws from the same view
+	// generation are not independent samples, so the estimator compares
+	// only across generations. sampleGroup hands out fresh (negative)
+	// group tags for independent single samples.
+	est         []*Estimator
+	gens        []int64
+	sampleGroup int64
+	probeRng    *rand.Rand
+	probeIdx    int
 }
 
 // New builds the service and fills initial views (the paper's warmed-up
@@ -84,6 +100,19 @@ func New(net *netstack.Network, cfg Config) *Service {
 		cfg:   cfg,
 		rng:   net.Engine().NewStream(),
 		views: make([][]int, net.N()),
+	}
+	if cfg.Estimation.Enable {
+		// Estimation state is created only when enabled, and its stream
+		// only after the service's own, so disabled runs keep the exact
+		// stream-derivation order (and results) of estimator-free builds.
+		s.cfg.Estimation.fillDefaults(cfg.WalkLength)
+		s.est = make([]*Estimator, net.N())
+		s.gens = make([]int64, net.N())
+		if s.cfg.Estimation.ProbeSecs > 0 {
+			s.probeRng = net.Engine().NewStream()
+			sim.NewTicker(net.Engine(), s.cfg.Estimation.ProbeSecs,
+				s.cfg.Estimation.ProbeSecs, s.probe)
+		}
 	}
 	s.RefreshAll()
 	sim.NewTicker(net.Engine(), cfg.RefreshSecs, cfg.RefreshSecs, s.RefreshAll)
@@ -117,6 +146,16 @@ func (s *Service) refreshOracle() {
 			continue
 		}
 		s.views[id] = sampleDistinct(s.rng, alive, id, s.cfg.ViewSize)
+		s.bumpGen(id)
+	}
+}
+
+// bumpGen advances a node's view generation: the redrawn view is a fresh
+// independent sample, so estimator observations from it may be compared
+// against observations from earlier generations.
+func (s *Service) bumpGen(id int) {
+	if s.gens != nil {
+		s.gens[id]++
 	}
 }
 
@@ -128,6 +167,7 @@ func (s *Service) refreshRandomWalk() {
 			continue
 		}
 		s.refreshNodeWalk(g, id)
+		s.bumpGen(id)
 	}
 }
 
@@ -206,6 +246,7 @@ func (s *Service) RefreshNode(id int) {
 	case ModeRandomWalk:
 		s.refreshNodeWalk(s.snapshotGraph(), id)
 	}
+	s.bumpGen(id)
 }
 
 // sampleDistinct draws k distinct elements of pool, excluding exclude.
@@ -231,6 +272,13 @@ func sampleDistinct(rng *rand.Rand, pool []int, exclude, k int) []int {
 // via the birthday paradox (Section 6.3): k walk endpoints yield on average
 // C(k,2)/n colliding pairs. It returns the estimate and the number of
 // collisions observed.
+//
+// With zero collisions the inversion is undefined (the naive formula
+// returns +Inf): the evidence only bounds n from below. Pr(no collision) =
+// exp(−P/n) over P pairs, so n ≥ P holds with confidence 1−1/e ≈ 63%, and
+// that bounded "at least" estimate is returned instead — callers can tell
+// the case apart by collisions == 0 and must report it as a lower bound,
+// not a point estimate.
 func EstimateN(g *graph.Graph, rng *rand.Rand, start, walks, length int) (float64, int) {
 	ends := make([]int, walks)
 	for i := range ends {
@@ -242,9 +290,9 @@ func EstimateN(g *graph.Graph, rng *rand.Rand, start, walks, length int) (float6
 		collisions += seen[e]
 		seen[e]++
 	}
-	if collisions == 0 {
-		return math.Inf(1), 0
-	}
 	pairs := float64(walks*(walks-1)) / 2
+	if collisions == 0 {
+		return pairs, 0
+	}
 	return pairs / float64(collisions), collisions
 }

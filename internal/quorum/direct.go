@@ -16,6 +16,7 @@ type directMsg struct {
 func (s *System) advertiseRandom(origin int, op opID, key, value string) {
 	ad := s.ads[op]
 	members := s.members.Pick(s.engine.Rand(), origin, s.cfg.AdvertiseSize)
+	s.observeMembers(origin, members)
 	ad.res.Requested = s.cfg.AdvertiseSize
 	if len(members) == 0 {
 		ad.pending = 1
@@ -73,6 +74,7 @@ func (s *System) pickFreshMember(origin int, used map[int]bool) (int, bool) {
 // when SerialRandomLookup is set.
 func (s *System) lookupRandom(origin int, op opID, key string) {
 	members := s.members.Pick(s.engine.Rand(), origin, s.cfg.LookupSize)
+	s.observeMembers(origin, members)
 	if len(members) == 0 {
 		return // origin-only quorum: timeout will declare the miss
 	}
@@ -135,6 +137,7 @@ func (s *System) serialLookupStep(origin int, op opID, key string, gen int) {
 // of the routes (Section 4.5).
 func (s *System) lookupRandomOpt(origin int, op opID, key string) {
 	members := s.members.Pick(s.engine.Rand(), origin, s.cfg.RandomOptTargets)
+	s.observeMembers(origin, members)
 	for _, m := range members {
 		msg := &directMsg{Op: op, Advertise: false, Key: key}
 		pkt := s.newPacket(origin, m, msg)

@@ -36,6 +36,7 @@ func (s *System) Advertise(origin int, key, value string, done func(AdvertiseRes
 		}
 		return OpRef{id: op}
 	}
+	s.issuedAds++
 	s.owned[ownedKey{origin: origin, key: key}] = value
 	ad := &pendingAdvertise{id: op, done: done, issued: s.engine.Now(), storedAt: make(map[int]bool)}
 	s.ads[op] = ad
@@ -80,6 +81,7 @@ func (s *System) Lookup(origin int, key string, done func(LookupResult)) OpRef {
 		}
 		return OpRef{id: op}
 	}
+	s.issuedLookups++
 	lk := &pendingLookup{
 		id: op, key: key, done: done, issued: s.engine.Now(),
 		retriesLeft: s.cfg.LookupRetries,
@@ -152,6 +154,7 @@ func (s *System) LookupCollect(origin int, key string, window float64, done func
 		}
 		return OpRef{id: op}
 	}
+	s.issuedLookups++
 	lk := &pendingLookup{
 		id: op, key: key, issued: s.engine.Now(),
 		collect: true, collectDone: done,

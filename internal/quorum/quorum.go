@@ -261,6 +261,12 @@ type Counters struct {
 	// DeadOriginOps counts operations rejected because their origin was
 	// down when they were issued.
 	DeadOriginOps int
+	// Resizes counts runtime quorum-size changes applied via Resize (the
+	// adaptation controller's output).
+	Resizes int
+	// ReadvertiseRetunes counts runtime re-advertise-period changes
+	// applied by the adaptation controller.
+	ReadvertiseRetunes int
 }
 
 // System runs a probabilistic biquorum system over a network. Construct one
@@ -294,6 +300,15 @@ type System struct {
 	// served counts lookup answers produced per node (owner and bystander
 	// alike) — the server-side load behind the load figure's skew metric.
 	served []int64
+
+	// readvTicker drives periodic re-advertising; held so the adaptation
+	// controller can retune or disable the period at runtime.
+	readvTicker *sim.Ticker
+
+	// issuedAds and issuedLookups count live-origin operations issued
+	// (including periodic re-advertises and collect lookups): the demand
+	// meter behind the controller's observed rate ratio τ̂.
+	issuedAds, issuedLookups int64
 
 	counters Counters
 }
@@ -394,7 +409,7 @@ func New(net *netstack.Network, routing aodv.Router, members *membership.Service
 		}
 	}
 	if cfg.ReadvertiseSecs > 0 {
-		sim.NewTicker(net.Engine(), cfg.ReadvertiseSecs, cfg.ReadvertiseSecs, s.readvertiseAll)
+		s.readvTicker = sim.NewTicker(net.Engine(), cfg.ReadvertiseSecs, cfg.ReadvertiseSecs, s.readvertiseAll)
 	}
 	return s
 }
@@ -475,6 +490,60 @@ func (s *System) SetLookupSize(k int) {
 		k = 1
 	}
 	s.cfg.LookupSize = k
+}
+
+// Resize adjusts both quorum sizes at runtime (sizes below 1 are clamped).
+// In-flight operations are unaffected — each dispatch reads the sizes at
+// draw time, so a lookup that times out after a resize retries with the new
+// |Qℓ| (see TestRetryUsesResizedQuorum). Re-advertises likewise pick up the
+// new |Qa| on their next refresh, which is how an adaptive system restores
+// the Corollary 5.3 product after n drifts.
+func (s *System) Resize(advertiseSize, lookupSize int) {
+	if advertiseSize < 1 {
+		advertiseSize = 1
+	}
+	if lookupSize < 1 {
+		lookupSize = 1
+	}
+	s.cfg.AdvertiseSize = advertiseSize
+	s.cfg.LookupSize = lookupSize
+	s.counters.Resizes++
+}
+
+// SetReadvertiseSecs retunes the periodic re-advertise interval at runtime:
+// positive values change the period (starting a ticker if none was
+// running — its pending tick keeps its deadline, so retuning never resets
+// the refresh phase), non-positive values stop re-advertising.
+func (s *System) SetReadvertiseSecs(secs float64) {
+	if secs <= 0 {
+		if s.readvTicker != nil {
+			s.readvTicker.Stop()
+			s.readvTicker = nil
+		}
+		s.cfg.ReadvertiseSecs = 0
+		return
+	}
+	s.cfg.ReadvertiseSecs = secs
+	if s.readvTicker != nil {
+		s.readvTicker.SetInterval(secs)
+		return
+	}
+	s.readvTicker = sim.NewTicker(s.engine, secs, secs, s.readvertiseAll)
+}
+
+// IssuedOps returns how many live-origin advertise and lookup operations
+// have been issued so far (periodic re-advertises included): the demand
+// counters whose deltas give the controller its observed τ̂.
+func (s *System) IssuedOps() (ads, lookups int64) {
+	return s.issuedAds, s.issuedLookups
+}
+
+// observeMembers piggybacks a quorum draw into the membership service's
+// continuous size estimator (a no-op unless estimation is enabled).
+func (s *System) observeMembers(origin int, members []int) {
+	if s.members != nil {
+		s.members.Observe(origin, members)
+	}
 }
 
 // Store returns node id's local location store.

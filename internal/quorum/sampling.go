@@ -89,6 +89,11 @@ func (s *System) handleSample(n *netstack.Node, m *sampleMsg) {
 
 // sampleArrived runs the quorum operation at the walk's endpoint.
 func (s *System) sampleArrived(n *netstack.Node, m *sampleMsg) {
+	// The endpoint of a maximum-degree walk is one uniform sample —
+	// exactly the birthday-paradox observation the size estimator wants.
+	if s.members != nil {
+		s.members.ObserveSample(m.Op.Origin, n.ID())
+	}
 	if m.Advertise {
 		s.storeAt(n.ID(), m.Key, m.Value, true, m.Op)
 		s.advertiseSettled(m.Op)

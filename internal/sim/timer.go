@@ -32,6 +32,16 @@ func (t *Ticker) tick() {
 	}
 }
 
+// SetInterval changes the period for every tick after the next one. The
+// currently pending tick keeps its deadline — retuning a refresh cadence
+// must not reset its phase, or frequent retunes could starve the ticker.
+func (t *Ticker) SetInterval(interval float64) {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t.interval = interval
+}
+
 // Stop cancels future ticks.
 func (t *Ticker) Stop() {
 	t.stopped = true

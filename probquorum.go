@@ -172,10 +172,31 @@ type ClusterConfig struct {
 	// Cluster.Heal; CheckReport reads out the invariant checkers that are
 	// armed on every cluster.
 	Faults []FaultEpisode
+	// Adaptive closes the sizing loop: the membership layer continuously
+	// estimates the network size from random-walk collisions (§6.3
+	// birthday paradox) and an adaptation controller re-derives the
+	// quorum sizes — and the re-advertise period, when
+	// Quorum.ReadvertiseSecs is set — as the estimate drifts. Inspect
+	// with SizeEstimate and AdaptStatus; tune with AdaptTuning.
+	Adaptive bool
+	// AdaptTuning overrides the controller's knobs when Adaptive is set;
+	// the zero value uses defaults.
+	AdaptTuning AdaptConfig
 }
 
 // ChurnStats counts churn-process events; see Cluster.ChurnStats.
 type ChurnStats = churn.Stats
+
+// Adaptive-sizing re-exports; see internal/quorum and internal/membership.
+type (
+	// AdaptConfig tunes the closed-loop adaptation controller.
+	AdaptConfig = quorum.AdaptConfig
+	// AdaptStatus snapshots the controller's state.
+	AdaptStatus = quorum.AdaptStatus
+	// SizeEstimate is a continuous network-size estimate with confidence
+	// bounds (AtLeast marks a zero-collision lower bound).
+	SizeEstimate = membership.Estimate
+)
 
 // Cluster is a simulated ad hoc network running the quorum system. It wraps
 // the engine, stack, routing, membership and quorum layers behind a small
@@ -189,6 +210,7 @@ type Cluster struct {
 	churn    *churn.Process
 	injector *faults.Injector
 	checks   *check.Suite
+	adapter  *quorum.Controller
 }
 
 // NewCluster builds a cluster and warms it up (neighbor discovery and
@@ -222,7 +244,11 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	}
 	network := netstack.New(engine, ncfg)
 	routing := aodv.New(network, aodv.Config{})
-	members := membership.New(network, membership.Config{})
+	mcfg := membership.Config{}
+	if cfg.Adaptive {
+		mcfg.Estimation = membership.EstimationConfig{Enable: true, ProbeSecs: 10}
+	}
+	members := membership.New(network, mcfg)
 	system := quorum.New(network, routing, members, cfg.Quorum)
 	injector := faults.New(network)
 	checks := check.NewSuite(network, system)
@@ -231,6 +257,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		engine: engine, network: network, routing: routing,
 		members: members, system: system,
 		injector: injector, checks: checks,
+	}
+	if cfg.Adaptive {
+		c.adapter = quorum.NewController(system, members, cfg.AdaptTuning)
+		checks.WatchController(c.adapter)
 	}
 	c.RunFor(25) // neighbor discovery warm-up
 	if len(cfg.Faults) > 0 {
@@ -246,6 +276,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			system.ResetNode(id)
 			members.RefreshNode(id)
 		})
+		if c.adapter != nil {
+			// Crash events feed the controller's churn-rate meter.
+			c.churn.OnFail(func(int) { c.adapter.NoteFail() })
+		}
 		c.churn.Start()
 	}
 	return c
@@ -353,6 +387,28 @@ func (c *Cluster) RoutingMessages() int64 {
 
 // SetLookupSize adjusts |Qℓ| at runtime (Section 6.1 adaptation).
 func (c *Cluster) SetLookupSize(k int) { c.system.SetLookupSize(k) }
+
+// Resize adjusts both quorum sizes at runtime. In-flight operations keep
+// the sizes they were drawn with; retries re-draw at the new sizes.
+func (c *Cluster) Resize(advertiseSize, lookupSize int) {
+	c.system.Resize(advertiseSize, lookupSize)
+}
+
+// SizeEstimate returns the membership layer's pooled network-size estimate
+// (zero-valued with OK=false unless ClusterConfig.Adaptive is set and
+// enough walk evidence has accumulated).
+func (c *Cluster) SizeEstimate() SizeEstimate {
+	return c.members.AggregateEstimate()
+}
+
+// AdaptStatus snapshots the adaptation controller (zero-valued when
+// ClusterConfig.Adaptive is not set).
+func (c *Cluster) AdaptStatus() AdaptStatus {
+	if c.adapter == nil {
+		return AdaptStatus{}
+	}
+	return c.adapter.Status()
+}
 
 // ChurnStats reports the continuous churn process's event counts (zero if
 // no churn rates were configured).
