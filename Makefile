@@ -28,10 +28,15 @@ check: build lint chaos load-smoke adapt-smoke
 # lint runs pqlint, the determinism- and invariant-enforcing static
 # analysis suite (internal/lint): no global math/rand, no wall clock in
 # simulation code, no order-sensitive map iteration, no exact float
-# comparison, no wall-clock-derived seeds. Suppressions are reasoned
-# //pqlint:allow directives; see DESIGN.md §8.
+# comparison, no wall-clock-derived seeds — plus the whole-program,
+# call-graph-aware analyzers: parsafe (parallel-phase purity) and noalloc
+# (annotated hot paths must not allocate along the call chain).
+# Suppressions are reasoned //pqlint:allow directives; see DESIGN.md §8.
+# On a clean tree pqlint emits its wall-time benchmark line, which folds
+# into BENCH.json; on findings there is no bench line, benchjson errors,
+# and the pipeline (hence the target) fails with the findings echoed.
 lint:
-	$(GO) run ./cmd/pqlint ./...
+	$(GO) run ./cmd/pqlint -bench ./... | $(GO) run ./cmd/benchjson -merge -out BENCH.json
 
 # chaos runs the fault-injection acceptance sweep: ≥50 randomized fault
 # schedules with the invariant checkers armed (skipped under -short, so it

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"probquorum/internal/netstack"
@@ -34,11 +36,22 @@ func statsString(workers int) string {
 // TestWorkersBitIdentical is the parallel-phase determinism gate (run by
 // make check): a full SINR/DCF experiment and the raw netstack statistics
 // must render bit-identically with the parallel phase off and at widths 2
-// and 8.
+// and 8. CI's race-stress step overrides the width via PQ_WORKERS_STRESS
+// to sweep {2, 8, 32} one width at a time under -race with
+// GORACE=halt_on_error=1, cross-checking parsafe's static purity verdict
+// against the dynamic detector.
 func TestWorkersBitIdentical(t *testing.T) {
+	widths := []int{2, 8}
+	if s := os.Getenv("PQ_WORKERS_STRESS"); s != "" {
+		w, err := strconv.Atoi(s)
+		if err != nil || w < 1 {
+			t.Fatalf("PQ_WORKERS_STRESS=%q is not a positive worker count", s)
+		}
+		widths = []int{w}
+	}
 	wantRes := fmt.Sprintf("%+v", Run(workersScenario(0)))
 	wantStats := statsString(0)
-	for _, w := range []int{2, 8} {
+	for _, w := range widths {
 		if got := fmt.Sprintf("%+v", Run(workersScenario(w))); got != wantRes {
 			t.Errorf("Workers=%d result diverged from serial run:\n got %s\nwant %s", w, got, wantRes)
 		}

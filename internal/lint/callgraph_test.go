@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCallGraphResolution is a white-box check of the three resolution
+// modes: static calls, calls through tracked func-valued fields, and CHA
+// interface dispatch.
+func TestCallGraphResolution(t *testing.T) {
+	pkg, err := NewLoader().LoadDir(filepath.Join("testdata", "callgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+	}
+	g := buildCallGraph([]*Package{pkg}, nil)
+
+	var drive *FuncNode
+	for _, n := range g.Nodes {
+		if n.Name == "callgraph.drive" {
+			drive = n
+		}
+	}
+	if drive == nil {
+		t.Fatal("no node for drive")
+	}
+	callees := make(map[string]bool)
+	for _, e := range drive.Edges {
+		callees[e.Callee.Name] = true
+	}
+	for _, want := range []string{
+		"callgraph.direct",       // static call
+		"callgraph.handle",       // through the tracked func-valued field
+		"callgraph.(*implA).Run", // CHA: pointer receiver implements runner
+		"callgraph.(implB).Run",  // CHA: value receiver implements runner
+	} {
+		if !callees[want] {
+			t.Errorf("drive is missing edge to %s (have %v)", want, callees)
+		}
+	}
+	if callees["callgraph.setup"] {
+		t.Errorf("drive has a spurious edge to setup (have %v)", callees)
+	}
+}

@@ -15,7 +15,9 @@ import (
 // written before the package clause covers the whole file; anywhere else it
 // covers findings on its own line and the line immediately below it (the
 // two idiomatic placements: trailing the offending line, or on its own
-// line directly above).
+// line directly above). One comment may carry several directives back to
+// back, each introduced by its own prefix, so a single trailing comment can
+// silence two analyzers that fire on the same line.
 const directivePrefix = "//pqlint:allow"
 
 // directive is one parsed suppression.
@@ -68,33 +70,40 @@ func parseDirectives(fset *token.FileSet, file *ast.File, valid map[string]bool)
 			if !strings.HasPrefix(c.Text, directivePrefix) {
 				continue
 			}
-			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
-			open := strings.Index(rest, "(")
-			closing := strings.LastIndex(rest, ")")
-			if open < 0 || closing < open || closing != len(rest)-1 {
-				report(c.Pos(), "malformed directive: want //pqlint:allow analyzer(reason)")
-				continue
-			}
-			name := strings.TrimSpace(rest[:open])
-			reason := strings.TrimSpace(rest[open+1 : closing])
-			if !valid[name] {
-				report(c.Pos(), "directive names unknown analyzer "+quote(name))
-				continue
-			}
-			if reason == "" {
-				report(c.Pos(), "directive for "+name+" needs a non-empty reason")
-				continue
-			}
-			d := directive{
-				analyzer: name,
-				reason:   reason,
-				line:     fset.Position(c.Pos()).Line,
-				fileWide: c.End() < file.Package,
-			}
-			if d.fileWide {
-				ds.fileWide = append(ds.fileWide, d)
-			} else {
-				ds.byLine[d.line] = append(ds.byLine[d.line], d)
+			// A comment may chain several directives; split on the prefix
+			// and validate each segment independently.
+			for _, seg := range strings.Split(c.Text, directivePrefix) {
+				rest := strings.TrimSpace(seg)
+				if rest == "" {
+					continue // the empty segment before the first prefix
+				}
+				open := strings.Index(rest, "(")
+				closing := strings.LastIndex(rest, ")")
+				if open < 0 || closing < open || closing != len(rest)-1 {
+					report(c.Pos(), "malformed directive: want //pqlint:allow analyzer(reason)")
+					continue
+				}
+				name := strings.TrimSpace(rest[:open])
+				reason := strings.TrimSpace(rest[open+1 : closing])
+				if !valid[name] {
+					report(c.Pos(), "directive names unknown analyzer "+quote(name))
+					continue
+				}
+				if reason == "" {
+					report(c.Pos(), "directive for "+name+" needs a non-empty reason")
+					continue
+				}
+				d := directive{
+					analyzer: name,
+					reason:   reason,
+					line:     fset.Position(c.Pos()).Line,
+					fileWide: c.End() < file.Package,
+				}
+				if d.fileWide {
+					ds.fileWide = append(ds.fileWide, d)
+				} else {
+					ds.byLine[d.line] = append(ds.byLine[d.line], d)
+				}
 			}
 		}
 	}

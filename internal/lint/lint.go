@@ -16,8 +16,14 @@
 //   - detrange:     order-sensitive bodies under map iteration
 //   - floatequal:   ==/!= between floating-point operands
 //   - seedplumb:    wall-clock-derived seeds in exported constructors
+//   - parsafe:      whole-program — code reachable from a ParallelEval
+//     callback must not write shared state, schedule, send, or draw RNG
+//   - noalloc:      whole-program — pqlint:noalloc-annotated hot paths
+//     must not allocate anywhere along the call chain
 //
-// Benign violations are silenced in place with a reasoned directive:
+// The last two walk a class-hierarchy-style call graph (see callgraph.go)
+// and honor the annotation contracts in annotations.go. Benign violations
+// are silenced in place with a reasoned directive:
 //
 //	//pqlint:allow analyzer(reason)
 //
@@ -63,8 +69,12 @@ type Analyzer struct {
 	// TestFiles runs the analyzer on _test.go files too. Test files are
 	// analyzed syntactically (no type information).
 	TestFiles bool
-	// Run reports the rule's findings for one file.
+	// Run reports the rule's findings for one file. Nil for whole-program
+	// analyzers.
 	Run func(p *Pass)
+	// RunProgram reports findings over the whole module at once, with the
+	// call graph available. Nil for per-file analyzers.
+	RunProgram func(p *ProgramPass)
 }
 
 // Analyzers is the full suite in reporting order.
@@ -75,6 +85,8 @@ func Analyzers() []*Analyzer {
 		DetRange,
 		FloatEqual,
 		SeedPlumb,
+		ParSafe,
+		NoAlloc,
 	}
 }
 
@@ -175,18 +187,72 @@ func (p *Pass) importedPkgPath(id *ast.Ident) string {
 	return ""
 }
 
+// ProgramPass hands the whole module to a whole-program analyzer.
+type ProgramPass struct {
+	// Pkgs is every loaded package.
+	Pkgs []*Package
+	// Graph is the module call graph (see callgraph.go).
+	Graph *CallGraph
+
+	annots   *annotationTable
+	analyzer string
+	findings *[]Finding
+}
+
+// Fset returns the file set positions resolve against.
+func (p *ProgramPass) Fset() *token.FileSet { return p.Graph.Fset }
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer,
+		Pos:      p.Graph.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// view adapts one call-graph node to the per-file Pass API so per-file
+// helpers (rngDraw, scheduleOrSend, ...) work inside program analyzers.
+func (p *ProgramPass) view(n *FuncNode) *Pass {
+	return &Pass{Pkg: n.Pkg, File: n.File, analyzer: p.analyzer, findings: p.findings}
+}
+
+// parSharedAt exposes line-scope parshared annotations to analyzers.
+func (p *ProgramPass) parSharedAt(filename string, line int) string {
+	return p.annots.parSharedAt(filename, line)
+}
+
 // Run executes the given analyzers over pkgs, applies suppression
 // directives, and returns all findings (suppressed ones included) sorted by
 // position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	valid := AnalyzerNames()
 	var out []Finding
+
+	// Pass 1: parse every file's directives and annotations up front —
+	// whole-program findings land in arbitrary files, so suppression must
+	// be resolvable per filename after all analyzers have run.
+	directives := make(map[string]*directiveSet)
+	annots := newAnnotationTable()
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			ds, derrs := parseDirectives(pkg.Fset, file.AST, valid)
 			out = append(out, derrs...)
-			var fileFindings []Finding
+			directives[file.Name] = ds
+			out = append(out, annots.collectFile(pkg.Fset, file)...)
+		}
+	}
+	funcAnnots, aerrs := annots.attach(pkgs)
+	out = append(out, aerrs...)
+
+	// Pass 2: per-file analyzers.
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
 			for _, az := range analyzers {
+				if az.Run == nil {
+					continue
+				}
 				if file.Test && !az.TestFiles {
 					continue
 				}
@@ -195,18 +261,41 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 					// outside the simulation determinism boundary.
 					continue
 				}
-				pass := &Pass{Pkg: pkg, File: file, analyzer: az.Name, findings: &fileFindings}
+				pass := &Pass{Pkg: pkg, File: file, analyzer: az.Name, findings: &findings}
 				az.Run(pass)
 			}
-			for i := range fileFindings {
-				if reason, ok := ds.covers(fileFindings[i].Analyzer, fileFindings[i].Pos.Line); ok {
-					fileFindings[i].Suppressed = true
-					fileFindings[i].Reason = reason
-				}
-			}
-			out = append(out, fileFindings...)
 		}
 	}
+
+	// Pass 3: whole-program analyzers over the shared call graph.
+	var program []*Analyzer
+	for _, az := range analyzers {
+		if az.RunProgram != nil {
+			program = append(program, az)
+		}
+	}
+	if len(program) > 0 {
+		graph := buildCallGraph(pkgs, funcAnnots)
+		for _, az := range program {
+			pass := &ProgramPass{
+				Pkgs: pkgs, Graph: graph,
+				annots: annots, analyzer: az.Name, findings: &findings,
+			}
+			az.RunProgram(pass)
+		}
+	}
+
+	for i := range findings {
+		ds := directives[findings[i].Pos.Filename]
+		if ds == nil {
+			continue
+		}
+		if reason, ok := ds.covers(findings[i].Analyzer, findings[i].Pos.Line); ok {
+			findings[i].Suppressed = true
+			findings[i].Reason = reason
+		}
+	}
+	out = append(out, findings...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {

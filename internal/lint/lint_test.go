@@ -34,6 +34,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		"detrange":     3, // RNG draw, scheduling, escaping append
 		"floatequal":   2, // a == b, x != 0.5
 		"seedplumb":    2, // wall-clock seed, pid seed (one per constructor)
+		"parsafe":      4, // captured write, schedule, RNG draw, callee write
+		"noalloc":      6, // escaping append, &lit, boxing, closure, method value, make
 	}
 	for _, az := range lint.Analyzers() {
 		az := az
@@ -121,6 +123,89 @@ func TestDirectiveErrors(t *testing.T) {
 	for _, f := range pqlint {
 		if f.Suppressed {
 			t.Errorf("directive diagnostic must not be suppressible: %s", f)
+		}
+	}
+}
+
+// TestSuppressionEdgeCases drives the edge fixture: a file-wide directive
+// plus line-scope directives, one comment silencing two analyzers on one
+// line, and an allow directive inside a pqlint:noalloc-annotated
+// declaration. Every finding must come out suppressed with a reason.
+func TestSuppressionEdgeCases(t *testing.T) {
+	pkg := loadFixture(t, "edges")
+	findings := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	if len(findings) == 0 {
+		t.Fatal("edge fixture produced no findings; triggers are broken")
+	}
+	byAnalyzer := make(map[string]int)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+		if !f.Suppressed {
+			t.Errorf("finding not suppressed: %s", f)
+		}
+		if strings.TrimSpace(f.Reason) == "" {
+			t.Errorf("suppressed without reason: %s", f)
+		}
+	}
+	for _, az := range []string{"nowallclock", "detrange", "floatequal", "noalloc"} {
+		if byAnalyzer[az] == 0 {
+			t.Errorf("edge fixture never triggered %s (got %v)", az, byAnalyzer)
+		}
+	}
+	// detrange and floatequal fire on the same line and are silenced by a
+	// single two-directive comment; both must carry their own reason.
+	var detReason, feqReason string
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "detrange":
+			detReason = f.Reason
+		case "floatequal":
+			if strings.Contains(f.Reason, "sentinel") {
+				feqReason = f.Reason
+			}
+		}
+	}
+	if detReason == feqReason {
+		t.Errorf("multi-directive comment did not keep per-analyzer reasons: %q vs %q", detReason, feqReason)
+	}
+}
+
+// TestAnnotationErrors checks that malformed and unattached annotations
+// are unsuppressible "pqlint" diagnostics.
+func TestAnnotationErrors(t *testing.T) {
+	pkg := loadFixture(t, "annot")
+	findings := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	var pq []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == "pqlint" {
+			pq = append(pq, f)
+		} else {
+			t.Errorf("unexpected non-pqlint finding: %s", f)
+		}
+	}
+	if len(pq) != 5 {
+		t.Fatalf("want 5 annotation diagnostics, got %d: %v", len(pq), pq)
+	}
+	wants := []string{
+		"needs a (reason) payload",
+		"takes no payload",
+		"unknown pqlint annotation",
+		"not attached to a function declaration",
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range pq {
+			if strings.Contains(f.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no annotation diagnostic mentioning %q in %v", want, pq)
+		}
+	}
+	for _, f := range pq {
+		if f.Suppressed {
+			t.Errorf("annotation diagnostic must not be suppressible: %s", f)
 		}
 	}
 }

@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // SourceFile is one parsed file of a package.
@@ -46,10 +48,12 @@ type Package struct {
 }
 
 // Loader parses and type-checks packages with a shared file set and source
-// importer, so stdlib and intra-module dependencies are resolved once.
+// importer, so stdlib and intra-module dependencies are resolved once
+// across every package of a run — the importer's cache is the whole reason
+// cold-start cost is paid once, not per package.
 type Loader struct {
 	fset *token.FileSet
-	imp  types.Importer
+	imp  types.ImporterFrom
 }
 
 // NewLoader returns a loader. The source importer resolves imports —
@@ -58,7 +62,32 @@ type Loader struct {
 // must be inside the module for module-local import paths to resolve.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	imp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		panic("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{fset: fset, imp: &syncImporter{imp: imp}}
+}
+
+// syncImporter serializes a source importer so packages can be
+// type-checked concurrently: token.FileSet is safe for concurrent use but
+// the source importer's package cache is not. Imports of a dependency
+// resolve it once under the lock; the importer's own nested imports go
+// through its internal resolver, not back through this wrapper, so the
+// lock is never taken reentrantly.
+type syncImporter struct {
+	mu  sync.Mutex
+	imp types.ImporterFrom
+}
+
+func (s *syncImporter) Import(path string) (*types.Package, error) {
+	return s.ImportFrom(path, "", 0)
+}
+
+func (s *syncImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.imp.ImportFrom(path, dir, mode)
 }
 
 // FindModuleRoot walks up from dir to the directory containing go.mod.
@@ -120,25 +149,50 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
+	// Packages type-check concurrently: each slot of the sorted dir list is
+	// filled independently, so the returned order — and every diagnostic's
+	// position — is identical to the serial loader's. The shared file set
+	// is concurrency-safe; the shared importer is serialized by
+	// syncImporter, so a dependency is still source-checked only once.
+	type loaded struct {
+		pkg *Package
+		err error
+	}
+	results := make([]loaded, len(dirs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				results[i] = loaded{nil, err}
+				return
+			}
+			importPath := modPath
+			if rel != "." {
+				importPath = modPath + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := l.loadDir(dir, importPath)
+			if pkg != nil {
+				pkg.Example = rel == "examples" || strings.HasPrefix(rel, "examples"+string(filepath.Separator))
+			}
+			results[i] = loaded{pkg, err}
+		}(i, dir)
+	}
+	wg.Wait()
 	var pkgs []*Package
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(root, dir)
-		if err != nil {
-			return nil, err
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		importPath := modPath
-		if rel != "." {
-			importPath = modPath + "/" + filepath.ToSlash(rel)
-		}
-		pkg, err := l.loadDir(dir, importPath)
-		if err != nil {
-			return nil, err
-		}
-		if pkg == nil {
+		if r.pkg == nil {
 			continue // no Go files
 		}
-		pkg.Example = rel == "examples" || strings.HasPrefix(rel, "examples"+string(filepath.Separator))
-		pkgs = append(pkgs, pkg)
+		pkgs = append(pkgs, r.pkg)
 	}
 	return pkgs, nil
 }

@@ -1,0 +1,31 @@
+package fixture
+
+type runner interface {
+	Run()
+}
+
+type implA struct{ n int }
+
+func (x *implA) Run() { x.n++ }
+
+type implB struct{}
+
+func (implB) Run() {}
+
+type holder struct {
+	fn func(int)
+}
+
+func direct() {}
+
+func handle(i int) {}
+
+func setup(h *holder) {
+	h.fn = handle
+}
+
+func drive(h *holder, r runner) {
+	direct()
+	h.fn(3)
+	r.Run()
+}

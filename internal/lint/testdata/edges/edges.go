@@ -1,0 +1,44 @@
+//pqlint:allow nowallclock(edge fixture: wall-clock reads here are demo-only)
+package fixture
+
+import "time"
+
+type sched struct{}
+
+func (s *sched) Schedule(delay float64, fn func()) {}
+
+func noop2() {}
+
+// edgeBoth trips detrange and floatequal on one line; a single comment
+// carrying two directives must silence both.
+func edgeBoth(m map[int]float64, s *sched) float64 {
+	total := 0.0
+	//pqlint:allow detrange(edge fixture: schedule order is idempotent here) //pqlint:allow floatequal(edge fixture: exact sentinel compare)
+	for k, v := range m {
+		if v == 0.0 {
+			s.Schedule(float64(k), noop2)
+		}
+		total += v
+	}
+	return total
+}
+
+// edgeClock is covered by the file-wide nowallclock directive above; the
+// line-scope directive below additionally covers the floatequal hit on the
+// same line, exercising file-scope + line-scope interplay.
+func edgeClock(x float64) int64 {
+	if x == 1.0 { //pqlint:allow floatequal(edge fixture: exact sentinel compare)
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+type node2 struct{ val int }
+
+// refillEdge is a pqlint:noalloc-annotated declaration whose body carries
+// an allow directive: annotations and suppression directives compose.
+//
+//pqlint:noalloc
+func refillEdge(free []*node2) []*node2 {
+	return append(free, &node2{}) //pqlint:allow noalloc(edge fixture: demo cold path)
+}

@@ -1,0 +1,19 @@
+package fixture
+
+type cleanPool struct {
+	free []*node
+}
+
+// pop reuses pooled nodes without touching the heap; the empty-pool case
+// returns nil instead of allocating.
+//
+//pqlint:noalloc
+func (p *cleanPool) pop() *node {
+	if len(p.free) == 0 {
+		return nil
+	}
+	n := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	n.val = 0
+	return n
+}

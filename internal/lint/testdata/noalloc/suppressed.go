@@ -1,0 +1,25 @@
+package fixture
+
+type supPool struct {
+	free []*node
+}
+
+// alloc pops, and refills from the heap only when the pool runs dry — the
+// canonical cold path a pool trades for hot-path reuse. Note the allow
+// directives sit inside a pqlint:noalloc-annotated declaration: annotation
+// and suppression compose.
+//
+//pqlint:noalloc
+func (p *supPool) alloc() *node {
+	if len(p.free) == 0 {
+		return &node{} //pqlint:allow noalloc(pool-dry cold path: one heap node per high-water increase)
+	}
+	n := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return n
+}
+
+//pqlint:noalloc
+func (p *supPool) release(n *node) {
+	p.free = append(p.free, n) //pqlint:allow noalloc(free-list growth is amortized to the pool high-water mark)
+}

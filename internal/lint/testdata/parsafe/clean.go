@@ -1,0 +1,25 @@
+package fixture
+
+type cleanMachine struct {
+	eng *Engine
+	in  []float64
+	out []float64
+}
+
+// run keeps the parallel phase pure: the only shared write is the declared
+// per-item result slot, and the helper on the path is annotation-checked.
+func (m *cleanMachine) run() {
+	m.eng.ParallelEval(len(m.in), func(i int) {
+		v := scale(m.in[i])
+		m.out[i] = v //pqlint:parshared(per-item result slot; index i is private to one worker item)
+	})
+}
+
+// scale is a pure helper on the parallel path; the annotation keeps it a
+// checked root even when no ParallelEval call site reaches it.
+//
+//pqlint:parallelpure
+func scale(x float64) float64 {
+	y := x * 2
+	return y
+}

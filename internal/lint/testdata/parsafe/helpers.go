@@ -1,0 +1,18 @@
+package fixture
+
+// Engine mimics sim.Engine's parallel API shape: parsafe finds roots by
+// call-site shape (a method named ParallelEval taking (int, func(int))),
+// so the fixture needs no dependency on internal/sim.
+type Engine struct{}
+
+// ParallelEval runs fn for every index, as the real engine does.
+func (e *Engine) ParallelEval(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Schedule mimics the engine's event scheduling entry point.
+func (e *Engine) Schedule(delay float64, fn func()) {}
+
+func noop() {}

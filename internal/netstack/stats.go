@@ -241,6 +241,8 @@ type Accumulator struct {
 }
 
 // Observe folds one sample into the accumulator.
+//
+//pqlint:noalloc
 func (a *Accumulator) Observe(v float64) {
 	if a.Count == 0 || v < a.Min {
 		a.Min = v
@@ -305,6 +307,8 @@ func (s *Stats) Inc(c Counter, delta int64) { s.counters[c] += delta }
 func (s *Stats) Get(c Counter) int64 { return s.counters[c] }
 
 // Observe folds one sample into the latency accumulator.
+//
+//pqlint:noalloc
 func (s *Stats) Observe(l Latency, v float64) { s.latencies[l].Observe(v) }
 
 // Latency returns a copy of the accumulator.

@@ -95,7 +95,7 @@ func NewDiskMedium(engine *sim.Engine, cfg DiskConfig) *DiskMedium {
 		m.radios[i] = r
 	}
 	m.evalFn = func(i int) {
-		m.evalDist[i] = geom.Dist(m.evalSrc, m.evalPos[i])
+		m.evalDist[i] = geom.Dist(m.evalSrc, m.evalPos[i]) //pqlint:parshared(per-item result slot: evalDist[i] is written by exactly one worker item and read only in the serial commit phase)
 	}
 	return m
 }
@@ -137,6 +137,8 @@ type diskArrival struct {
 
 // newArrival takes a recycled diskArrival from the pool (or allocates the
 // pool's next object) and initializes it for one receiver.
+//
+//pqlint:noalloc
 func (m *DiskMedium) newArrival(rx *diskRadio, f *Frame, inRange, interferes, senses bool, end float64) *diskArrival {
 	var a *diskArrival
 	if n := len(m.arrivalFree); n > 0 {
@@ -144,16 +146,18 @@ func (m *DiskMedium) newArrival(rx *diskRadio, f *Frame, inRange, interferes, se
 		m.arrivalFree[n-1] = nil
 		m.arrivalFree = m.arrivalFree[:n-1]
 	} else {
-		a = &diskArrival{}
+		a = &diskArrival{} //pqlint:allow noalloc(pool-dry cold path: one arrival per concurrent-arrival high-water increase)
 	}
 	a.frame, a.inRange, a.interferes, a.senses, a.end, a.rx = f, inRange, interferes, senses, end, rx
 	return a
 }
 
 // freeArrival recycles an arrival whose signalEnd has run.
+//
+//pqlint:noalloc
 func (m *DiskMedium) freeArrival(a *diskArrival) {
 	a.frame, a.rx = nil, nil
-	m.arrivalFree = append(m.arrivalFree, a)
+	m.arrivalFree = append(m.arrivalFree, a) //pqlint:allow noalloc(free-list growth is amortized to the pool high-water mark)
 }
 
 // diskTransmission mirrors the SINR medium's transmission record: all
@@ -168,6 +172,8 @@ type diskTransmission struct {
 }
 
 // newTransmission takes a recycled record from the pool.
+//
+//pqlint:noalloc
 func (m *DiskMedium) newTransmission() *diskTransmission {
 	if n := len(m.txFree); n > 0 {
 		t := m.txFree[n-1]
@@ -175,8 +181,8 @@ func (m *DiskMedium) newTransmission() *diskTransmission {
 		m.txFree = m.txFree[:n-1]
 		return t
 	}
-	t := &diskTransmission{}
-	t.endFn = func() { m.endTransmission(t) }
+	t := &diskTransmission{}                  //pqlint:allow noalloc(pool-dry cold path: one record per in-flight-broadcast high-water increase)
+	t.endFn = func() { m.endTransmission(t) } //pqlint:allow noalloc(the closure is created once per pooled record, precisely so the hot path does not allocate it)
 	return t
 }
 

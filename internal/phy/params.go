@@ -191,7 +191,10 @@ func (p Params) Derived() Derived {
 // ReceivedPowerMw returns the received power in milliwatts at distance dist
 // meters — the same model as Params.ReceivedPowerMw, with the constant
 // subexpressions precomputed and every remaining operation performed in the
-// original order so results are bit-identical.
+// original order so results are bit-identical. It runs inside the PHY's
+// parallel power-evaluation phase and must stay side-effect free.
+//
+//pqlint:parallelpure
 func (d *Derived) ReceivedPowerMw(dist float64) float64 {
 	if dist < 1e-9 {
 		return d.TxPowerMw

@@ -164,6 +164,8 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // dry. Stale flags are cleared here rather than at release so that a
 // just-fired or just-cancelled handle still answers Cancelled() correctly
 // until the object is actually reused.
+//
+//pqlint:noalloc
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -172,19 +174,23 @@ func (e *Engine) alloc() *Event {
 		ev.cancelled = false
 		return ev
 	}
-	return &Event{eng: e, index: -1}
+	return &Event{eng: e, index: -1} //pqlint:allow noalloc(pool-dry cold path: one event per live-event high-water increase)
 }
 
 // release returns a fired or cancelled event to the free list. The closure
 // is dropped immediately so it does not outlive its scheduling.
+//
+//pqlint:noalloc
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //pqlint:allow noalloc(free-list growth is amortized to the live-event high-water mark)
 }
 
 // Schedule runs fn after delay seconds. A negative delay is an error by the
 // caller; it is clamped to zero so the event fires "now" (after currently
 // queued same-time events).
+//
+//pqlint:noalloc
 func (e *Engine) Schedule(delay float64, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
@@ -195,6 +201,8 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 // At runs fn at absolute time t. Scheduling in the past fires the event at
 // the current time. The returned handle is valid until the event fires or
 // is cancelled; see the package comment on event recycling.
+//
+//pqlint:noalloc
 func (e *Engine) At(t float64, fn func()) *Event {
 	if fn == nil {
 		panic("sim: At called with nil fn")
