@@ -2,18 +2,20 @@
 # the standard toolchain.
 #
 # check is the CI gate and runs in this order:
-#   1. build — the whole tree compiles;
-#   2. lint  — pqlint's determinism invariants (fast, fails early);
-#   3. chaos — the fault-injection acceptance sweep;
-#   4. vet   — the standard toolchain's analyzers;
-#   5. race  — the short test set under the race detector, which enforces
-#              the per-engine isolation invariant (sim.TestEnginesIsolated
-#              and the parallel-vs-serial sweep determinism tests in
-#              internal/experiment run concurrent full stacks).
+#   1. build  — the whole tree compiles;
+#   2. lint   — pqlint's determinism invariants (fast, fails early);
+#   3. chaos  — the fault-injection acceptance sweep;
+#   4. shards — the sharded-phase determinism gate (bit-identity at shard
+#               widths 1/2/4/8 against a serial run);
+#   5. vet    — the standard toolchain's analyzers;
+#   6. race   — the short test set under the race detector, which enforces
+#               the per-engine isolation invariant (sim.TestEnginesIsolated
+#               and the parallel-vs-serial sweep determinism tests in
+#               internal/experiment run concurrent full stacks).
 
 GO ?= go
 
-.PHONY: build test check lint bench bench-sweep quick chaos mega-smoke load-smoke adapt-smoke
+.PHONY: build test check lint bench bench-sweep quick chaos shards mega-smoke load-smoke adapt-smoke giga-smoke
 
 build:
 	$(GO) build ./...
@@ -21,7 +23,7 @@ build:
 test:
 	$(GO) test ./...
 
-check: build lint chaos load-smoke adapt-smoke
+check: build lint chaos shards load-smoke adapt-smoke
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -44,6 +46,14 @@ lint:
 chaos:
 	$(GO) test -run 'TestChaos' -count=1 ./internal/experiment
 
+# shards runs the sharded-phase determinism gate (DESIGN.md §15): a full
+# experiment over the route cache's parallel prefetch path must render
+# bit-identically with sharding off and at widths 1/2/4/8, plus the mid-run
+# SetShards resize test. CI additionally race-stresses single widths via
+# PQ_SHARDS_STRESS.
+shards:
+	$(GO) test -run 'TestShards' -count=1 ./internal/experiment
+
 # bench runs the full benchmark suite (figure pipelines, substrate
 # micro-benchmarks, ablations) with allocation reporting and converts the
 # output into the committed benchmark trajectory BENCH.json (ns/op, B/op,
@@ -65,6 +75,14 @@ bench:
 # scale trajectory rides along with the micro-benchmarks.
 mega-smoke:
 	$(GO) run ./cmd/pqexp -megashort mega | $(GO) run ./cmd/benchjson -merge -out BENCH.json
+
+# giga-smoke runs the giga tier (DESIGN.md §15: oracle neighbors, lazy
+# membership, route cache, sharded prefetch) at a CI-sized 25k nodes on the
+# shortened horizon, churn/faults/invariants armed, 4 shards wide. The full
+# 100k run is `pqexp giga`; this is the does-it-scale gate, and its
+# wall-clock/alloc/peak-heap line folds into BENCH.json like mega-smoke's.
+giga-smoke:
+	$(GO) run ./cmd/pqexp -megashort -gigan 25000 -shards 4 giga | $(GO) run ./cmd/benchjson -merge -out BENCH.json
 
 # load-smoke runs the open-loop workload figure (DESIGN.md §13) on a
 # shortened horizon: Poisson and MMPP arrivals against every strategy mix

@@ -6,6 +6,14 @@
 //	go test -bench=. -benchmem -run='^$' . > bench.out
 //	benchjson -out BENCH.json < bench.out
 //	pqexp mega | benchjson -merge -out BENCH.json
+//	benchjson -compare BENCH.base.json -out BENCH.json -threshold 15
+//
+// With -compare, stdin is ignored: the -out file holds the NEW results and
+// the -compare file the baseline. Benchmarks present in both are compared on
+// ns/op and the peak-heap-B metric; any regression beyond -threshold percent
+// is reported and the exit status is non-zero, so CI can gate (or soft-fail)
+// on performance drift. Benchmarks present on only one side are noted but
+// never fail the comparison.
 //
 // Every input line is passed through to stdout unchanged, so benchjson can
 // sit at the end of a pipe without hiding the human-readable report. The
@@ -52,13 +60,105 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH.json", "output JSON file")
+	out := flag.String("out", "BENCH.json", "output JSON file (with -compare: the NEW results file)")
 	merge := flag.Bool("merge", false, "fold results into an existing -out file by benchmark name instead of replacing it")
+	compare := flag.String("compare", "", "baseline JSON file; compare -out against it instead of reading stdin")
+	threshold := flag.Float64("threshold", 10, "with -compare: regression tolerance in percent for ns/op and peak-heap-B")
 	flag.Parse()
+	if *compare != "" {
+		regressed, err := runCompare(os.Stdout, *compare, *out, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(2)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout, *out, *merge); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// peakHeapMetric is the custom b.ReportMetric unit the mega/giga scenarios
+// emit for their end-of-run heap high-water mark; it is compared alongside
+// ns/op because the scale-out work cares about memory as much as time.
+const peakHeapMetric = "peak-heap-B"
+
+// runCompare loads the baseline and new reports and prints one line per
+// comparable quantity. It returns regressed=true if any common benchmark got
+// slower (ns/op) or fatter (peak-heap-B) by more than thresholdPct percent.
+// Improvements and within-tolerance drift never trip it, and a quantity
+// missing from either side is skipped — baselines predating a metric must
+// not fail the first run that adds it.
+func runCompare(w io.Writer, basePath, newPath string, thresholdPct float64) (bool, error) {
+	base, err := loadReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	baseByName := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseByName[b.Name] = b
+	}
+	regressed := false
+	compared := 0
+	for _, nb := range cur.Benchmarks {
+		ob, ok := baseByName[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "new     %s (no baseline)\n", nb.Name)
+			continue
+		}
+		compared++
+		regressed = compareQuantity(w, nb.Name, "ns/op", ob.NsPerOp, nb.NsPerOp, thresholdPct) || regressed
+		if obv, nbv := ob.Metrics[peakHeapMetric], nb.Metrics[peakHeapMetric]; obv > 0 && nbv > 0 {
+			regressed = compareQuantity(w, nb.Name, peakHeapMetric, obv, nbv, thresholdPct) || regressed
+		}
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("no common benchmarks between %s and %s", basePath, newPath)
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: regression beyond %.0f%% tolerance\n", thresholdPct)
+	} else {
+		fmt.Fprintf(w, "ok: %d benchmarks within %.0f%% tolerance\n", compared, thresholdPct)
+	}
+	return regressed, nil
+}
+
+// compareQuantity prints one comparison line and reports whether the change
+// is a regression beyond the tolerance (higher is worse for both ns/op and
+// peak-heap-B).
+func compareQuantity(w io.Writer, name, unit string, oldVal, newVal float64, thresholdPct float64) bool {
+	if oldVal <= 0 {
+		return false
+	}
+	deltaPct := (newVal - oldVal) / oldVal * 100
+	bad := deltaPct > thresholdPct
+	verdict := "ok     "
+	if bad {
+		verdict = "REGRESS"
+	}
+	fmt.Fprintf(w, "%s %s %s %.6g -> %.6g (%+.1f%%)\n", verdict, name, unit, oldVal, newVal, deltaPct)
+	return bad
+}
+
+// loadReport reads a benchjson report from disk.
+func loadReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s is not a benchjson report: %w", path, err)
+	}
+	return rep, nil
 }
 
 func run(in io.Reader, echo io.Writer, outPath string, merge bool) error {

@@ -35,9 +35,9 @@ func TestParseBenchLineCustomMetrics(t *testing.T) {
 
 func TestParseBenchLineRejectsNonResults(t *testing.T) {
 	for _, line := range []string{
-		"BenchmarkFig03StrategyTable",          // progress line, no fields
-		"Benchmark bad iteration count ns/op",  // malformed
-		"BenchmarkNoUnits-8   100   12345",     // no ns/op pair
+		"BenchmarkFig03StrategyTable",         // progress line, no fields
+		"Benchmark bad iteration count ns/op", // malformed
+		"BenchmarkNoUnits-8   100   12345",    // no ns/op pair
 	} {
 		if _, ok := parseBenchLine(line); ok {
 			t.Errorf("line %q should not parse", line)
@@ -114,5 +114,78 @@ PASS
 	}
 	if strings.Contains(got, `"ns_per_op": 100,`) && strings.Count(got, "BenchmarkReplaced") != 1 {
 		t.Errorf("replaced benchmark kept its old entry:\n%s", got)
+	}
+}
+
+// writeReport materializes a BENCH.json from bench-format lines.
+func writeReport(t *testing.T, path, lines string) {
+	t.Helper()
+	if err := run(strings.NewReader(lines), &strings.Builder{}, path, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeReport(t, base, `BenchmarkSteady-8   10   100 ns/op
+BenchmarkSlower-8   10   100 ns/op
+BenchmarkMegaScenario/n=10000 1 1e9 ns/op 2e8 peak-heap-B
+BenchmarkRetired-8   10   100 ns/op
+PASS
+`)
+
+	// Within tolerance everywhere: ok, nothing regressed.
+	writeReport(t, cur, `BenchmarkSteady-8   10   105 ns/op
+BenchmarkSlower-8   10   100 ns/op
+BenchmarkMegaScenario/n=10000 1 1.05e9 ns/op 2.1e8 peak-heap-B
+BenchmarkFresh-8   10   100 ns/op
+PASS
+`)
+	var out strings.Builder
+	regressed, err := runCompare(&out, base, cur, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("within-tolerance drift reported as regression:\n%s", out.String())
+	}
+	for _, want := range []string{"new     BenchmarkFresh (no baseline)", "ok: 3 benchmarks"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// ns/op regression past the threshold trips it.
+	writeReport(t, cur, `BenchmarkSlower-8   10   125 ns/op
+PASS
+`)
+	out.Reset()
+	if regressed, err = runCompare(&out, base, cur, 10); err != nil || !regressed {
+		t.Fatalf("25%% ns/op slowdown not flagged (err=%v):\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESS BenchmarkSlower ns/op") {
+		t.Errorf("missing REGRESS line:\n%s", out.String())
+	}
+
+	// peak-heap-B regression alone trips it even with ns/op flat.
+	writeReport(t, cur, `BenchmarkMegaScenario/n=10000 1 1e9 ns/op 3e8 peak-heap-B
+PASS
+`)
+	out.Reset()
+	if regressed, err = runCompare(&out, base, cur, 10); err != nil || !regressed {
+		t.Fatalf("50%% peak-heap growth not flagged (err=%v):\n%s", err, out.String())
+	}
+}
+
+func TestCompareErrorsWithoutCommonBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	cur := filepath.Join(dir, "new.json")
+	writeReport(t, base, "BenchmarkA-8   10   100 ns/op\n")
+	writeReport(t, cur, "BenchmarkB-8   10   100 ns/op\n")
+	if _, err := runCompare(&strings.Builder{}, base, cur, 10); err == nil {
+		t.Fatal("expected an error when the reports share no benchmarks")
 	}
 }

@@ -19,6 +19,12 @@
 // (wall clock, allocations, peak heap) on stdout for cmd/benchjson. Tune it
 // with -megan/-megashort/-workers. It is deliberately not part of "all".
 //
+// `pqexp giga` is the 100k-node tier (DESIGN.md §15): the mega scenario with
+// oracle neighbor discovery, draw-on-demand membership views, and the
+// sharded route-tree cache (-shards controls the build parallelism, with
+// bit-identical results at any width). Scale it down with -gigan for smoke
+// runs; like mega, it is not part of "all".
+//
 // `pqexp load` runs the open-loop workload figure: Poisson and bursty MMPP
 // arrivals with Zipf/uniform keys against every strategy mix, reporting
 // throughput, exact p50/p99 op latency, shed/queue saturation, and load
@@ -69,8 +75,12 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "base random seed")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "sweep worker-pool size (independent runs in flight at once)")
 	workers := fs.Int("workers", 0, "per-engine parallel-phase width for PHY evaluation (0 = serial; results identical at any width)")
+	shards := fs.Int("shards", 0, "per-engine sharded-phase width for bulk route builds (0 = serial; results identical at any width)")
 	megaN := fs.Int("megan", 10000, "node count for the mega scale scenario")
-	megaShort := fs.Bool("megashort", false, "shrink the mega scenario's workload for smoke tests")
+	gigaN := fs.Int("gigan", 100000, "node count for the giga scale scenario")
+	megaShort := fs.Bool("megashort", false, "shrink the mega/giga scenario workloads for smoke tests")
+	megaDense := fs.Bool("megadense", false, "mega/giga: opt out of lazy membership (the A/B baseline for the scale posture)")
+	megaNoCache := fs.Bool("meganocache", false, "mega/giga: opt out of the route-tree cache, restoring per-hop BFS routing (with -megadense, the full pre-cache serial posture)")
 	loadShort := fs.Bool("loadshort", false, "shrink the load figure's node count and duration for smoke tests")
 	adaptShort := fs.Bool("adaptshort", false, "shrink the adapt figure's duration for smoke tests")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
@@ -131,6 +141,7 @@ func run(args []string) error {
 	}
 	p.Parallel = *parallel
 	p.Workers = *workers
+	p.Shards = *shards
 	effective := p.Parallel
 	if effective < 1 {
 		effective = runtime.GOMAXPROCS(0)
@@ -143,7 +154,11 @@ func run(args []string) error {
 	}
 	for _, f := range figs {
 		if strings.EqualFold(f, "mega") {
-			runMega(experiment.MegaConfig{N: *megaN, Seed: *seed, Workers: *workers, Horizon: megaHorizon(*megaShort)})
+			runMega(experiment.MegaConfig{N: *megaN, Seed: *seed, Workers: *workers, Shards: *shards, DenseMembership: *megaDense, RouteCacheOff: *megaNoCache, Horizon: megaHorizon(*megaShort)})
+			continue
+		}
+		if strings.EqualFold(f, "giga") {
+			runMega(experiment.MegaConfig{Giga: true, N: *gigaN, Seed: *seed, Workers: *workers, Shards: *shards, DenseMembership: *megaDense, RouteCacheOff: *megaNoCache, Horizon: megaHorizon(*megaShort)})
 			continue
 		}
 		if strings.EqualFold(f, "load") {

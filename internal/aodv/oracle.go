@@ -1,6 +1,8 @@
 package aodv
 
 import (
+	"math"
+
 	"probquorum/internal/netstack"
 	"probquorum/internal/sim"
 )
@@ -37,6 +39,21 @@ type Oracle struct {
 	net    *netstack.Network
 	engine *sim.Engine
 	taps   [][]TransitTap
+
+	// BFS scratch, reused across nextHop calls so steady-state routing does
+	// not allocate: visited is a stamp array (visited[i] == stamp means
+	// "seen in the current traversal"), parent/queue/depths are the
+	// traversal state. The traversal order is exactly the previous
+	// allocate-per-call implementation's, so results are bit-identical.
+	visited []int32
+	stamp   int32
+	parent  []int32
+	queue   []int32
+	depths  []int32
+
+	// cache is the opt-in per-destination route-tree cache with sharded
+	// parallel prefetch (routecache.go); nil unless EnableRouteCache ran.
+	cache *routeCache
 
 	// DataDrops counts packets dropped because no path existed or a hop
 	// failed.
@@ -176,45 +193,70 @@ func (o *Oracle) handleData(n *netstack.Node, pkt *netstack.Packet, from int) {
 	})
 }
 
-// nextHop runs a BFS on the live neighbor graph from dst backwards... more
-// simply, from src forward, returning the first hop of a shortest path to
-// dst within maxTTL hops (0 = unbounded).
+// nextHop returns the first hop of a shortest path from src to dst within
+// maxTTL hops (0 = unbounded): a forward BFS over the live neighbor graph
+// using reused stamped scratch, visiting nodes in exactly the order the
+// original allocate-per-call implementation did (same queue discipline, same
+// ascending-neighbor expansion), so tie-breaking — and every recorded run —
+// is unchanged while steady-state routing no longer allocates.
+//
+// When the route cache is enabled, every query is answered from the
+// per-destination next-hop trees instead (routecache.go): unbounded queries
+// read next[src] directly, and scoped queries walk the tree — tree paths
+// are shortest paths, so "dst within k hops" is decided in at most k steps.
+// The latter is what keeps per-hop forwarding off the BFS entirely: routed
+// packets carry a finite TTL, so without it every intermediate hop of an
+// "unbounded" send would fall through to a graph-sized traversal.
 func (o *Oracle) nextHop(src, dst int, maxTTL int) (int, bool) {
 	if src == dst {
 		return src, true
 	}
+	if o.cache != nil {
+		return o.cache.nextHop(src, dst, maxTTL)
+	}
 	n := o.net.N()
-	parent := make([]int32, n)
-	for i := range parent {
-		parent[i] = -2 // unvisited
+	if len(o.visited) != n {
+		o.visited = make([]int32, n)
+		o.parent = make([]int32, n)
+		o.stamp = 0
 	}
-	parent[src] = -1
-	type qe struct {
-		id    int
-		depth int
+	if o.stamp == math.MaxInt32 {
+		for i := range o.visited {
+			o.visited[i] = 0
+		}
+		o.stamp = 0
 	}
-	queue := []qe{{src, 0}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if maxTTL > 0 && cur.depth >= maxTTL {
+	o.stamp++
+	stamp := o.stamp
+	o.visited[src] = stamp
+	o.parent[src] = -1
+	queue, depths := o.queue[:0], o.depths[:0]
+	queue = append(queue, int32(src))
+	depths = append(depths, 0)
+	for head := 0; head < len(queue); head++ {
+		cur, depth := int(queue[head]), int(depths[head])
+		if maxTTL > 0 && depth >= maxTTL {
 			continue
 		}
-		for _, nb := range o.net.Neighbors(cur.id) {
-			if parent[nb] != -2 {
+		for _, nb := range o.net.Neighbors(cur) {
+			if o.visited[nb] == stamp {
 				continue
 			}
-			parent[nb] = int32(cur.id)
+			o.visited[nb] = stamp
+			o.parent[nb] = int32(cur)
 			if nb == dst {
 				// Walk back to find the first hop.
 				at := nb
-				for int(parent[at]) != src {
-					at = int(parent[at])
+				for int(o.parent[at]) != src {
+					at = int(o.parent[at])
 				}
+				o.queue, o.depths = queue, depths
 				return at, true
 			}
-			queue = append(queue, qe{nb, cur.depth + 1})
+			queue = append(queue, int32(nb))
+			depths = append(depths, int32(depth+1))
 		}
 	}
+	o.queue, o.depths = queue, depths
 	return 0, false
 }

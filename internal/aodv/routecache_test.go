@@ -1,0 +1,104 @@
+package aodv
+
+import (
+	"math/rand"
+	"testing"
+
+	"probquorum/internal/geom"
+	"probquorum/internal/mobility"
+	"probquorum/internal/netstack"
+	"probquorum/internal/sim"
+)
+
+// oracleWorld builds a static topology with an Oracle router on the ideal
+// stack, optionally with the route cache enabled.
+func oracleWorld(pts []geom.Point, side float64, cached bool) (*sim.Engine, *netstack.Network, *Oracle) {
+	e := sim.NewEngine(1)
+	net := netstack.New(e, netstack.Config{
+		N: len(pts), Side: side, Mobility: mobility.NewStatic(pts), Stack: netstack.StackIdeal,
+	})
+	o := NewOracle(net)
+	if cached {
+		o.EnableRouteCache(RouteCacheConfig{})
+	}
+	return e, net, o
+}
+
+// TestRouteCacheScopedMatchesBFS compares the cached scoped next-hop answers
+// against the exact bounded BFS on a random static topology: for every
+// (src, dst, ttl) the reachability verdict must agree (tree paths are
+// shortest paths, so "within k hops" is the same predicate on both sides),
+// and any hop the cache returns must be a strictly-closer live neighbor.
+func TestRouteCacheScopedMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, side = 40, 900.0
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	_, _, plain := oracleWorld(pts, side, false)
+	_, _, cached := oracleWorld(pts, side, true)
+
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			for ttl := 0; ttl <= 6; ttl++ {
+				_, wantOK := plain.nextHop(src, dst, ttl)
+				hop, gotOK := cached.nextHop(src, dst, ttl)
+				if gotOK != wantOK {
+					t.Fatalf("src=%d dst=%d ttl=%d: cached reachable=%v, BFS says %v", src, dst, ttl, gotOK, wantOK)
+				}
+				if !gotOK {
+					continue
+				}
+				// The cached hop must make strict progress: dst reachable
+				// from hop within ttl-1 (unbounded stays unbounded).
+				rest := 0
+				if ttl > 0 {
+					rest = ttl - 1
+				}
+				if hop != dst {
+					if _, ok := plain.nextHop(hop, dst, rest); !ok {
+						t.Fatalf("src=%d dst=%d ttl=%d: cached hop %d cannot reach dst within %d", src, dst, ttl, hop, rest)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOracleRouteCacheScopedDelivery re-runs the scoped/unreachable oracle
+// scenario with the cache enabled: TTL-bounded sends must still fail beyond
+// their scope, succeed within it, and unreachable destinations must drop.
+func TestOracleRouteCacheScopedDelivery(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 150, Y: 0}, {X: 300, Y: 0}, {X: 450, Y: 0}, {X: 5000, Y: 0}}
+	e, net, o := oracleWorld(pts, 6000, true)
+	s := &sink{}
+	net.Node(3).Register(testProto, s)
+	var beyond, within, far *bool
+	e.Schedule(0, func() {
+		o.SendScoped(0, 3, innerPkt(0, 3), 2, func(ok bool) { beyond = &ok }) // 3 hops away
+		o.Send(0, 4, innerPkt(0, 4), func(ok bool) { far = &ok })             // disconnected
+	})
+	e.Schedule(1, func() {
+		o.SendScoped(0, 3, innerPkt(0, 3), 3, func(ok bool) { within = &ok }) // exactly in scope
+	})
+	e.Run(5)
+	if beyond == nil || *beyond {
+		t.Fatal("scoped send beyond TTL should fail with the cache on")
+	}
+	if far == nil || *far {
+		t.Fatal("send to a disconnected node should fail with the cache on")
+	}
+	if within == nil || !*within {
+		t.Fatal("scoped send within TTL should hand off with the cache on")
+	}
+	if len(s.pkts) != 1 || s.pkts[0].Hops != 3 {
+		t.Fatalf("cached scoped delivery: %d pkts", len(s.pkts))
+	}
+	if o.DataDrops == 0 {
+		t.Fatal("drops not counted")
+	}
+}

@@ -108,6 +108,29 @@ type Scenario struct {
 	// interference model (netstack.Config.CellNoise) — the approximate
 	// scale-out mode used by the mega scenario.
 	CellNoise bool
+	// Shards sets the engine's sharded-phase width (sim.SetShards): the
+	// route-prefetch and other ShardedEval phases fan out across this many
+	// spatial shards. Results are bit-identical at any setting; 0 or 1
+	// runs serially (DESIGN.md §15).
+	Shards int
+	// LazyMembership switches the membership service to draw-on-demand
+	// views (membership.Config.Lazy): O(1) refreshes and no materialized
+	// [][]int views — the memory posture the mega/giga tiers need. Lazy
+	// draws are a different (equally uniform) sample than the eager shared
+	// stream, so recorded eager figures keep this off.
+	LazyMembership bool
+	// RouteCache enables the oracle router's per-destination route-tree
+	// cache with sharded parallel prefetch (aodv.EnableRouteCache).
+	// Requires OracleRouting. Purely a throughput knob on symmetric
+	// neighbor graphs — every query returns the hop the exact BFS would —
+	// but cached trees see heartbeat-graph changes only on the
+	// version/TTL boundary, so recorded figures keep it off.
+	RouteCache bool
+	// OracleNeighbors swaps the heartbeat neighbor protocol for the
+	// geometric oracle provider (no beacon traffic) — the giga tier's way
+	// to drop 100k nodes' beacon load from the PHY while keeping the
+	// routed workload honest.
+	OracleNeighbors bool
 }
 
 func (sc *Scenario) fillDefaults() {
@@ -267,6 +290,7 @@ func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *memb
 	sc.fillDefaults()
 	engine := sim.NewEngine(sc.Seed)
 	engine.SetWorkers(sc.Workers)
+	engine.SetShards(sc.Shards)
 
 	// Pre-allocate join capacity; joiners stay down until churn time.
 	joiners := sc.joinSlots()
@@ -276,6 +300,9 @@ func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *memb
 		N: total, AvgDegree: sc.AvgDegree, Stack: sc.Stack,
 		LossProb: sc.LossProb, IdealHopDelay: sc.IdealHopDelay,
 		RxLossProb: sc.RxLossProb, CellNoise: sc.CellNoise,
+	}
+	if sc.OracleNeighbors {
+		cfg.Neighbors = netstack.NeighborsOracle
 	}
 	// Area sized for the *initial* population, per the paper's scaling.
 	cfg.Side = areaSide(sc.N, 200, sc.AvgDegree)
@@ -300,14 +327,43 @@ func buildStack(sc Scenario) (*sim.Engine, *netstack.Network, aodv.Router, *memb
 		}
 		routing = aodv.New(net, acfg)
 	}
+	if sc.RouteCache {
+		oracle, ok := routing.(*aodv.Oracle)
+		if !ok {
+			panic("experiment: RouteCache requires OracleRouting")
+		}
+		// Spatial shard map over true positions at build time — shardOf
+		// must stay pure during phases, and node positions only enter it
+		// through this frozen stripe assignment. TTL bounds tree staleness
+		// against the heartbeat provider's lazily observed expiries; the
+		// oracle provider's version counter is exact, so no bound needed.
+		k := sc.Shards
+		if k < 1 {
+			k = 1
+		}
+		sm := sim.NewShardMap(k, total, cfg.Side, func(id int) float64 {
+			return net.Position(id).X
+		})
+		ttl := 1.0
+		if sc.OracleNeighbors {
+			ttl = 0
+		}
+		oracle.EnableRouteCache(aodv.RouteCacheConfig{TTLSecs: ttl, Shards: sm})
+	}
 	members := membership.New(net, membership.Config{
 		ViewSize:    membership.DefaultViewSize(sc.N),
 		RefreshSecs: sc.MembershipRefreshSecs,
 		Estimation:  sc.Estimation,
+		Lazy:        sc.LazyMembership,
 	})
 	sys := quorum.New(net, routing, members, sc.Quorum)
 	for id := sc.N; id < total; id++ {
 		net.Fail(id) // joiners wait in the wings
+		// Release the view the initial refresh materialized for this
+		// not-yet-joined slot: dead nodes queued for reuse must not hold
+		// views (the draw itself already happened, keeping the shared
+		// stream — and every recorded figure — unchanged).
+		members.RefreshNode(id)
 	}
 	return engine, net, routing, members, sys
 }

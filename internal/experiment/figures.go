@@ -49,6 +49,9 @@ type Profile struct {
 	// goroutines, with bit-identical results at any setting. Orthogonal
 	// to Parallel, which runs whole seeds concurrently.
 	Workers int
+	// Shards is the per-engine sharded-phase width (Scenario.Shards),
+	// bit-identical at any setting like Workers.
+	Shards int
 }
 
 // Quick returns a laptop-scale profile on the ideal stack.
@@ -81,7 +84,7 @@ func baseScenario(p Profile, n int, seed int64) Scenario {
 	return Scenario{
 		N: n, Stack: p.Stack, Seed: seed,
 		Advertisements: p.Advertisements, Lookups: p.Lookups, LookupNodes: p.LookupNodes,
-		Workers: p.Workers,
+		Workers: p.Workers, Shards: p.Shards,
 	}
 }
 

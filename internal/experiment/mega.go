@@ -33,6 +33,24 @@ type MegaConfig struct {
 	Seed int64
 	// Workers is the engine's parallel-phase width (0 = serial).
 	Workers int
+	// Shards is the engine's sharded-phase width (0 = serial): the route
+	// cache's bulk prefetch fans tree builds across this many spatial
+	// shards. Bit-identical at any setting (DESIGN.md §15).
+	Shards int
+	// Giga selects the 100k-tier preset: N defaults to 100000 and neighbor
+	// discovery switches to the geometric oracle provider (100k beaconing
+	// nodes would swamp the PHY with traffic that measures nothing), and
+	// results report under the BenchmarkGigaScenario name.
+	Giga bool
+	// OracleNeighbors forces the geometric neighbor provider (implied by
+	// Giga).
+	OracleNeighbors bool
+	// DenseMembership opts out of lazy draw-on-demand membership views,
+	// restoring the previous eager posture (and its refresh allocations).
+	DenseMembership bool
+	// RouteCacheOff opts out of the oracle route-tree cache, restoring
+	// per-hop BFS routing.
+	RouteCacheOff bool
 	// CellNoiseOff disables the cell-aggregated interference model and
 	// runs the exact per-arrival SINR physics (much slower at this n).
 	CellNoiseOff bool
@@ -55,6 +73,12 @@ type MegaConfig struct {
 }
 
 func (mc *MegaConfig) fillDefaults() {
+	if mc.Giga {
+		if mc.N == 0 {
+			mc.N = 100000
+		}
+		mc.OracleNeighbors = true
+	}
 	if mc.N == 0 {
 		mc.N = 10000
 	}
@@ -99,14 +123,22 @@ func (mc *MegaConfig) fillDefaults() {
 // MegaResult is one mega run's protocol outcomes plus its process-level
 // cost metrics.
 type MegaResult struct {
-	N, Workers   int
-	CellNoise    bool
-	Lookups      int
-	Hits         int
-	Intersects   int
-	ChurnFails   int
-	ChurnJoins   int
-	Report       check.Report
+	N, Workers int
+	Shards     int
+	Giga       bool
+	CellNoise  bool
+	// Dense records that the run opted out of lazy membership, and NoCache
+	// that it opted out of the route-tree cache (together: the pre-scale-PR
+	// serial posture). Each suffixes the bench name so the A/B variants
+	// coexist in BENCH.json.
+	Dense      bool
+	NoCache    bool
+	Lookups    int
+	Hits       int
+	Intersects int
+	ChurnFails int
+	ChurnJoins int
+	Report     check.Report
 	// Events is how many engine events the run executed.
 	Events uint64
 	// WallSecs is the real elapsed time of the whole run (build through
@@ -140,8 +172,19 @@ func (r MegaResult) IntersectRatio() float64 {
 // into BENCH.json: one iteration whose ns/op, B/op, and allocs/op cover the
 // whole scenario, plus peak-heap and event-count custom metrics.
 func (r MegaResult) BenchLine() string {
-	return fmt.Sprintf("BenchmarkMegaScenario/n=%d/workers=%d 1 %d ns/op %d B/op %d allocs/op %d peak-heap-B %d events",
-		r.N, r.Workers, int64(r.WallSecs*1e9), r.AllocBytes, r.Mallocs, r.PeakHeapBytes, r.Events)
+	name := "Mega"
+	if r.Giga {
+		name = "Giga"
+	}
+	variant := ""
+	if r.Dense {
+		variant = "/dense=1"
+	}
+	if r.NoCache {
+		variant += "/nocache=1"
+	}
+	return fmt.Sprintf("Benchmark%sScenario/n=%d/workers=%d/shards=%d%s 1 %d ns/op %d B/op %d allocs/op %d peak-heap-B %d events",
+		name, r.N, r.Workers, r.Shards, variant, int64(r.WallSecs*1e9), r.AllocBytes, r.Mallocs, r.PeakHeapBytes, r.Events)
 }
 
 // Table renders the run for pqexp output.
@@ -150,8 +193,13 @@ func (r MegaResult) Table() Table {
 	if !r.CellNoise {
 		mode = "exact"
 	}
+	tier := "mega"
+	if r.Giga {
+		tier = "giga"
+	}
 	return Table{
-		Title:  fmt.Sprintf("mega — %d-node SINR/DCF scale run (%s, workers=%d)", r.N, mode, r.Workers),
+		Title: fmt.Sprintf("%s — %d-node SINR/DCF scale run (%s, workers=%d, shards=%d)",
+			tier, r.N, mode, r.Workers, r.Shards),
 		Header: []string{"metric", "value"},
 		Rows: [][]string{
 			{"lookups", istr(r.Lookups)},
@@ -180,8 +228,15 @@ func RunMega(mc MegaConfig) MegaResult {
 
 	sc := Scenario{
 		N: mc.N, Stack: netstack.StackSINR, Seed: mc.Seed,
-		Workers: mc.Workers, CellNoise: !mc.CellNoiseOff,
+		Workers: mc.Workers, Shards: mc.Shards, CellNoise: !mc.CellNoiseOff,
 		OracleRouting: !mc.AODV,
+		// The scale posture: draw-on-demand membership views and cached
+		// route trees with sharded prefetch. Opt-outs restore the old
+		// behavior for A/B runs; the route cache requires the oracle
+		// router, so AODV runs keep it off automatically.
+		LazyMembership:  !mc.DenseMembership,
+		RouteCache:      !mc.RouteCacheOff && !mc.AODV,
+		OracleNeighbors: mc.OracleNeighbors,
 		// Continuous churn over the lookup phase (sets the join pool).
 		ChurnFailRate: mc.ChurnRate, ChurnJoinRate: mc.ChurnRate,
 		ChurnDurationSecs:     float64(mc.Lookups) * 0.5,
@@ -250,7 +305,7 @@ func RunMega(mc MegaConfig) MegaResult {
 	proc.Start()
 	engine.Schedule(lookupSpan, proc.Stop)
 
-	res := MegaResult{N: mc.N, Workers: mc.Workers, CellNoise: !mc.CellNoiseOff}
+	res := MegaResult{N: mc.N, Workers: mc.Workers, Shards: mc.Shards, Giga: mc.Giga, CellNoise: !mc.CellNoiseOff, Dense: mc.DenseMembership, NoCache: mc.RouteCacheOff}
 	origins := make([]int, mc.LookupNodes)
 	for i := range origins {
 		origins[i] = net.RandomAliveID(rng)

@@ -33,8 +33,15 @@ import (
 // contract as call sites come and go.
 //
 // Roots are found by call-site shape — a method call named ParallelEval
-// whose second argument has type func(int) — so the analyzer needs no
-// dependency on internal/sim and works on fixtures.
+// whose second argument has type func(int), or a method call named
+// ShardedEval taking (int-like, func(int) int, func(int)) — so the analyzer
+// needs no dependency on internal/sim and works on fixtures. For ShardedEval
+// both function arguments are parallel roots: the item callback runs on
+// shard workers, and the shard function is re-evaluated by Stage on the
+// worker goroutine, so it must be pure too. Stage itself is the sanctioned
+// effect boundary of a sharded phase — the real engine's Stage carries a
+// function-scope parshared annotation, and the ops it defers run serially at
+// the commit barrier, outside the walk.
 var ParSafe = &Analyzer{
 	Name:       "parsafe",
 	Doc:        "code reachable from a ParallelEval callback must not write shared state, schedule, send, or draw RNG",
@@ -57,15 +64,28 @@ func runParSafe(p *ProgramPass) {
 				return false // scanned as its own node
 			}
 			call, ok := x.(*ast.CallExpr)
-			if !ok || !isParallelEvalCall(n.Pkg, call) {
+			if !ok {
 				return true
 			}
-			cbs := callbackNodes(g, n.Pkg, call.Args[1])
-			if len(cbs) == 0 {
-				p.Reportf(call.Args[1].Pos(), "cannot resolve the ParallelEval callback statically; pass a func literal, named func, or a tracked func-valued field")
+			var cbArgs []ast.Expr
+			switch {
+			case isParallelEvalCall(n.Pkg, call):
+				cbArgs = call.Args[1:2]
+			case isShardedEvalCall(n.Pkg, call):
+				// Both the shard function and the item callback run on
+				// shard workers (Stage re-evaluates shardOf there).
+				cbArgs = call.Args[1:3]
+			default:
 				return true
 			}
-			roots = append(roots, cbs...)
+			for _, arg := range cbArgs {
+				cbs := callbackNodes(g, n.Pkg, arg)
+				if len(cbs) == 0 {
+					p.Reportf(arg.Pos(), "cannot resolve the parallel-phase callback statically; pass a func literal, named func, or a tracked func-valued field")
+					continue
+				}
+				roots = append(roots, cbs...)
+			}
 			return true
 		})
 	}
@@ -86,6 +106,25 @@ func isParallelEvalCall(pkg *Package, call *ast.CallExpr) bool {
 		return false
 	}
 	b, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isShardedEvalCall matches the ShardedEval call-site shape: a method call
+// named ShardedEval taking (int-like, func(int) int, func(int)).
+func isShardedEvalCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ShardedEval" || len(call.Args) != 3 {
+		return false
+	}
+	shardSig, ok := pkg.Info.TypeOf(call.Args[1]).(*types.Signature)
+	if !ok || shardSig.Params().Len() != 1 || shardSig.Results().Len() != 1 {
+		return false
+	}
+	fnSig, ok := pkg.Info.TypeOf(call.Args[2]).(*types.Signature)
+	if !ok || fnSig.Params().Len() != 1 || fnSig.Results().Len() != 0 {
+		return false
+	}
+	b, ok := fnSig.Params().At(0).Type().Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsInteger != 0
 }
 
@@ -147,6 +186,10 @@ func checkParSafeNode(p *ProgramPass, n *FuncNode, chain []string) {
 				case "ParallelEval":
 					if isParallelEvalCall(n.Pkg, x) {
 						p.Reportf(x.Pos(), "nested ParallelEval inside the parallel phase%s", via)
+					}
+				case "ShardedEval":
+					if isShardedEvalCall(n.Pkg, x) {
+						p.Reportf(x.Pos(), "nested ShardedEval inside the parallel phase%s", via)
 					}
 				case "NewStream":
 					p.Reportf(x.Pos(), "creates an RNG stream inside the parallel phase%s", via)

@@ -23,3 +23,21 @@ func scale(x float64) float64 {
 	y := x * 2
 	return y
 }
+
+type cleanSharded struct {
+	eng     *Engine
+	out     []float64
+	scratch [][]int
+}
+
+// runSharded keeps a sharded phase legal: a pure shard function, a declared
+// per-shard scratch write, a declared per-item result slot, and an effect
+// deferred through Stage (the annotated boundary the walk stops at).
+func (m *cleanSharded) runSharded() {
+	m.eng.ShardedEval(len(m.out), func(id int) int { return id % 2 }, func(i int) {
+		s := i % 2
+		m.scratch[s] = append(m.scratch[s], i) //pqlint:parshared(per-shard scratch: one worker owns all items of shard s)
+		m.out[i] = scale(float64(i))           //pqlint:parshared(per-item result slot; index i is private to one worker item)
+		m.eng.Stage(i, noop)
+	})
+}

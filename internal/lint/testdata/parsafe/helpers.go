@@ -12,6 +12,23 @@ func (e *Engine) ParallelEval(n int, fn func(i int)) {
 	}
 }
 
+// ShardedEval mimics the sharded phase entry point (a method named
+// ShardedEval taking (int-like, func(int) int, func(int))); parsafe treats
+// both function arguments as parallel roots.
+func (e *Engine) ShardedEval(n int, shardOf func(id int) int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		_ = shardOf(i)
+		fn(i)
+	}
+}
+
+// Stage mimics the sharded phase's deferred-effect boundary: like the real
+// engine's Stage, the function-scope annotation stops the parsafe walk here
+// — the deferred ops run serially at the commit barrier.
+//
+//pqlint:parshared(fixture commit buffer: ops run serially after the barrier)
+func (e *Engine) Stage(item int, op func()) {}
+
 // Schedule mimics the engine's event scheduling entry point.
 func (e *Engine) Schedule(delay float64, fn func()) {}
 

@@ -27,3 +27,13 @@ func (m *posMachine) run() {
 func (m *posMachine) store(i int) {
 	m.out[i] = m.in[i]
 }
+
+// runSharded breaks the sharded-phase rules on both roots: the shard
+// function draws randomness (it is re-evaluated on shard workers by Stage),
+// and the item callback writes captured state and schedules.
+func (m *posMachine) runSharded() {
+	m.eng.ShardedEval(len(m.in), func(id int) int { return int(m.rng.Int63()) }, func(i int) {
+		m.shared++
+		m.eng.Schedule(0, noop)
+	})
+}

@@ -56,6 +56,21 @@ type Config struct {
 	// way existing runs change, so its streams are created after every
 	// pre-existing one.
 	Estimation EstimationConfig
+	// Lazy switches ModeOracle to draw-on-demand views: no view is
+	// materialized until some quorum access reads it, and a refresh is an
+	// O(1) generation bump instead of an O(n·|view|) redraw of every node.
+	// At n=100k the dense views alone are ~500 MB and each periodic
+	// refresh allocates O(n²) candidate scratch; lazily only the working
+	// set (the operation origins) ever materializes. Draws are keyed on
+	// (service seed, node id, generation, boot epoch), so each node's view
+	// is a deterministic function independent of which other views were
+	// read, or in what order — see DESIGN.md §15. The drawn views follow
+	// the same uniform without-replacement distribution as eager mode but
+	// are a different sample (eager consumes one shared stream in id
+	// order, which draw-on-demand cannot reproduce without materializing
+	// everything); recorded eager runs therefore keep their exact results
+	// by keeping Lazy off.
+	Lazy bool
 }
 
 // Service maintains per-node membership views.
@@ -78,6 +93,22 @@ type Service struct {
 	sampleGroup int64
 	probeRng    *rand.Rand
 	probeIdx    int
+
+	// deadSkips counts refresh passes over dead ids (views released, no
+	// draw): the regression guard that refresh never materializes a view
+	// for a node that is down — e.g. joiner slots or crashed nodes queued
+	// for reuse by churn.
+	deadSkips uint64
+
+	// Lazy-mode state (Config.Lazy): lazySeed keys all on-demand draws,
+	// curGen advances on RefreshAll, bootEpoch[id] advances when id alone
+	// re-bootstraps (join/reboot), and viewGen/viewEpoch tag which
+	// (generation, epoch) each cached view slice was drawn under.
+	lazySeed  uint64
+	curGen    uint64
+	bootEpoch []uint64
+	viewGen   []uint64
+	viewEpoch []uint64
 }
 
 // New builds the service and fills initial views (the paper's warmed-up
@@ -100,6 +131,22 @@ func New(net *netstack.Network, cfg Config) *Service {
 		cfg:   cfg,
 		rng:   net.Engine().NewStream(),
 		views: make([][]int, net.N()),
+	}
+	if cfg.Lazy {
+		if cfg.Mode != ModeOracle {
+			panic("membership: Lazy requires ModeOracle (walk views need the shared stream)")
+		}
+		if cfg.Estimation.Enable {
+			panic("membership: Lazy and Estimation are mutually exclusive")
+		}
+		// The seed draw is the only consumption of the shared stream in
+		// lazy mode; eager runs never reach this line, so their stream
+		// usage — and every recorded result — is untouched.
+		s.lazySeed = s.rng.Uint64()
+		s.curGen = 1
+		s.bootEpoch = make([]uint64, net.N())
+		s.viewGen = make([]uint64, net.N())
+		s.viewEpoch = make([]uint64, net.N())
 	}
 	if cfg.Estimation.Enable {
 		// Estimation state is created only when enabled, and its stream
@@ -128,8 +175,13 @@ func DefaultViewSize(n int) int {
 	return k
 }
 
-// RefreshAll redraws every live node's view.
+// RefreshAll redraws every live node's view. In lazy mode this is an O(1)
+// generation bump: views redraw themselves on next read.
 func (s *Service) RefreshAll() {
+	if s.cfg.Lazy {
+		s.curGen++
+		return
+	}
 	switch s.cfg.Mode {
 	case ModeOracle:
 		s.refreshOracle()
@@ -138,11 +190,22 @@ func (s *Service) RefreshAll() {
 	}
 }
 
+// DeadRefreshSkips reports how many times a refresh pass skipped a dead id
+// (releasing its view without drawing) instead of materializing a view for
+// a node that is down.
+func (s *Service) DeadRefreshSkips() uint64 { return s.deadSkips }
+
+// skipDead releases a dead id's view without consuming any randomness.
+func (s *Service) skipDead(id int) {
+	s.views[id] = nil
+	s.deadSkips++
+}
+
 func (s *Service) refreshOracle() {
 	alive := s.net.AliveIDs()
 	for id := range s.views {
 		if !s.net.Alive(id) {
-			s.views[id] = nil
+			s.skipDead(id)
 			continue
 		}
 		s.views[id] = sampleDistinct(s.rng, alive, id, s.cfg.ViewSize)
@@ -163,7 +226,7 @@ func (s *Service) refreshRandomWalk() {
 	g := s.snapshotGraph()
 	for id := range s.views {
 		if !s.net.Alive(id) {
-			s.views[id] = nil
+			s.skipDead(id)
 			continue
 		}
 		s.refreshNodeWalk(g, id)
@@ -205,15 +268,75 @@ func (s *Service) snapshotGraph() *graph.Graph {
 }
 
 // View returns node id's current membership list. The slice is owned by the
-// service; do not modify.
-func (s *Service) View(id int) []int { return s.views[id] }
+// service; do not modify. In lazy mode this is where the view materializes.
+func (s *Service) View(id int) []int {
+	if s.cfg.Lazy {
+		return s.ensureView(id)
+	}
+	return s.views[id]
+}
+
+// ensureView returns id's lazy view, drawing it if the cached slice predates
+// the current (generation, boot epoch). The draw is a pure function of
+// (lazySeed, id, generation, epoch) and the current alive set, so it does
+// not depend on which other views were read or in what order — reading
+// every view equals refreshing eagerly (see TestLazyMatchesEagerDraw).
+func (s *Service) ensureView(id int) []int {
+	if !s.net.Alive(id) {
+		if s.views[id] != nil {
+			s.skipDead(id)
+		}
+		return nil
+	}
+	if s.views[id] != nil && s.viewGen[id] == s.curGen && s.viewEpoch[id] == s.bootEpoch[id] {
+		return s.views[id]
+	}
+	rng := rand.New(rand.NewSource(int64(mix64(s.lazySeed, uint64(id), s.curGen, s.bootEpoch[id]))))
+	// Same uniform without-replacement draw as sampleDistinct, staged
+	// through the reused scratch so materialization doesn't allocate the
+	// O(n) candidate slice eager refreshes pay per node.
+	s.scratch = s.scratch[:0]
+	for _, v := range s.net.AliveIDs() {
+		if v != id {
+			s.scratch = append(s.scratch, v)
+		}
+	}
+	k := s.cfg.ViewSize
+	if k > len(s.scratch) {
+		k = len(s.scratch)
+	}
+	view := s.views[id][:0]
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(s.scratch)-i)
+		s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i]
+		view = append(view, s.scratch[i])
+	}
+	s.views[id] = view
+	s.viewGen[id] = s.curGen
+	s.viewEpoch[id] = s.bootEpoch[id]
+	return view
+}
+
+// mix64 folds the inputs through splitmix64 steps into one well-distributed
+// per-draw seed.
+func mix64(vals ...uint64) uint64 {
+	z := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		z ^= v + 0x9e3779b97f4a7c15 + (z << 6) + (z >> 2)
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
 
 // Pick returns up to k distinct ids drawn without replacement from node
 // id's view — the RANDOM strategy's quorum selection. Requesting more than
 // the view holds returns the whole view (the paper's cost plateau for
 // |Q| ≥ 2√n, Section 8.1).
 func (s *Service) Pick(rng *rand.Rand, id, k int) []int {
-	view := s.views[id]
+	view := s.View(id)
 	if k >= len(view) {
 		out := make([]int, len(view))
 		copy(out, view)
@@ -237,7 +360,12 @@ func (s *Service) Pick(rng *rand.Rand, id, k int) []int {
 // stale spot in other views) until the next periodic RefreshAll.
 func (s *Service) RefreshNode(id int) {
 	if !s.net.Alive(id) {
-		s.views[id] = nil
+		s.skipDead(id)
+		return
+	}
+	if s.cfg.Lazy {
+		// O(1): the epoch bump keys a fresh independent draw on next read.
+		s.bootEpoch[id]++
 		return
 	}
 	switch s.cfg.Mode {

@@ -1,6 +1,7 @@
 package netstack
 
 import (
+	"math"
 	"sort"
 
 	"probquorum/internal/geom"
@@ -9,9 +10,24 @@ import (
 
 // NeighborProvider reports each node's current one-hop neighborhood.
 type NeighborProvider interface {
-	// Neighbors returns the ids a node can currently talk to directly.
-	// The returned slice is reused between calls.
+	// Neighbors returns the ids a node can currently talk to directly,
+	// sorted ascending. The returned slice is owned by the provider and
+	// valid until the node's list is next rebuilt.
 	Neighbors(id int) []int
+	// Version is a counter that advances whenever some node's neighbor
+	// *set* is observed to change — a new neighbor appears, an entry
+	// expires, liveness flips, or (for position-derived providers on a
+	// mobile network) time advances. Consumers that cache derived state
+	// (the oracle router's route trees) key it on this counter.
+	Version() uint64
+	// Prepare revalidates every live node's cached list at the current
+	// instant, so that a subsequent parallel phase within the same event
+	// can read them via Frozen without mutation.
+	Prepare()
+	// Frozen returns id's cached list with no revalidation. Only valid
+	// after Prepare in the same event; read-only, safe for concurrent
+	// readers (DESIGN.md §15).
+	Frozen(id int) []int
 }
 
 // oracleNeighbors computes neighborhoods geometrically from true positions —
@@ -30,14 +46,15 @@ type NeighborProvider interface {
 // Together these take the per-hop BFS from O(n²) to amortized O(reached),
 // which is what lets open-loop load runs route 10⁵+ messages per figure.
 type oracleNeighbors struct {
-	net    *Network
-	grid   *geom.Grid
-	stamp  float64 // engine time of the last cache invalidation; -1 = never
-	epoch  uint64  // net.aliveEpoch at the last cache invalidation
-	static bool    // positions never change: the grid fills exactly once
-	lists  [][]int // memoized per-node neighbor lists
-	valid  []bool
-	cand   []int
+	net     *Network
+	grid    *geom.Grid
+	stamp   float64 // engine time of the last cache invalidation; -1 = never
+	epoch   uint64  // net.aliveEpoch at the last cache invalidation
+	static  bool    // positions never change: the grid fills exactly once
+	lists   [][]int // memoized per-node neighbor lists
+	valid   []bool
+	cand    []int
+	version uint64
 }
 
 func newOracleNeighbors(net *Network) *oracleNeighbors {
@@ -67,6 +84,7 @@ func (o *oracleNeighbors) refresh() {
 		o.valid[i] = false
 	}
 	o.stamp, o.epoch = now, o.net.aliveEpoch
+	o.version++
 }
 
 func (o *oracleNeighbors) Neighbors(id int) []int {
@@ -93,6 +111,27 @@ func (o *oracleNeighbors) Neighbors(id int) []int {
 	return list
 }
 
+// Version implements NeighborProvider: the counter advances with every
+// cache invalidation, i.e. whenever liveness flipped or (mobile network)
+// time moved, which is exactly when a geometric neighbor set can change.
+func (o *oracleNeighbors) Version() uint64 {
+	o.refresh()
+	return o.version
+}
+
+// Prepare implements NeighborProvider: revalidate every live node's list.
+func (o *oracleNeighbors) Prepare() {
+	o.refresh()
+	for id := 0; id < o.net.N(); id++ {
+		if o.net.alive[id] && !o.valid[id] {
+			o.Neighbors(id)
+		}
+	}
+}
+
+// Frozen implements NeighborProvider.
+func (o *oracleNeighbors) Frozen(id int) []int { return o.lists[id] }
+
 // beaconBytes is the size of a heartbeat beacon payload.
 const beaconBytes = 20
 
@@ -101,16 +140,33 @@ const beaconBytes = 20
 // desynchronize; a neighbor entry expires when no beacon has been heard for
 // just over two cycles. Stale entries are exactly the mobility artifact the
 // paper's salvation/repair techniques must cope with.
+//
+// Neighbor lists are cached per node and rebuilt only when the answer can
+// actually change: a beacon that adds a previously absent (or expired)
+// sender marks the node dirty, a liveness flip invalidates via aliveEpoch,
+// and the passage of time invalidates at the earliest cached-entry expiry.
+// Within the validity window a cached list equals what a fresh scan would
+// return — a refresh beacon from a current neighbor changes timestamps, not
+// membership — so caching is observationally equivalent to the previous
+// rebuild-per-call implementation (same lists, same sorted order, same
+// expiry semantics) while taking the oracle router's per-hop BFS from
+// "rebuild and sort every visited node's map" to a slice read.
 type heartbeatService struct {
 	net      *Network
 	interval float64
 	timeout  float64
 	lastSeen []map[int]float64 // id -> neighbor -> last beacon time
-	scratch  []int
 	// beacons holds one immutable beacon packet per node, built once and
 	// rebroadcast every cycle: all fields are constant per sender and the
 	// receive path reads only the previous-hop id, so reuse is safe.
 	beacons []*Packet
+
+	lists   [][]int   // cached sorted neighbor lists
+	expires []float64 // earliest entry expiry of each cached list
+	epochs  []uint64  // net.aliveEpoch each list was built under
+	fresh   []bool    // false forces a rebuild (new/expired-sender beacon)
+	scratch []int     // rebuild staging, for content-change detection
+	version uint64    // advances when a rebuild changes some list's content
 }
 
 func newHeartbeatService(net *Network, interval float64) *heartbeatService {
@@ -120,6 +176,10 @@ func newHeartbeatService(net *Network, interval float64) *heartbeatService {
 		timeout:  2.2 * interval,
 		lastSeen: make([]map[int]float64, net.N()),
 		beacons:  make([]*Packet, net.N()),
+		lists:    make([][]int, net.N()),
+		expires:  make([]float64, net.N()),
+		epochs:   make([]uint64, net.N()),
+		fresh:    make([]bool, net.N()),
 	}
 	rng := net.engine.NewStream()
 	for id := 0; id < net.N(); id++ {
@@ -145,23 +205,84 @@ func (h *heartbeatService) beacon(n *Node) {
 	n.BroadcastOneHop(h.beacons[n.ID()], nil)
 }
 
-// HandlePacket implements Handler: record the beacon sender.
+// HandlePacket implements Handler: record the beacon sender. The cached
+// list is invalidated only when membership can change — the sender was
+// absent or already past the timeout; a refresh from a current neighbor
+// leaves the cached list exact (its conservative expiry just rebuilds a
+// hair early).
 func (h *heartbeatService) HandlePacket(n *Node, pkt *Packet, from int) {
-	h.lastSeen[n.ID()][from] = h.net.engine.Now()
+	id := n.ID()
+	now := h.net.engine.Now()
+	old, had := h.lastSeen[id][from]
+	h.lastSeen[id][from] = now
+	if !had || now-old > h.timeout {
+		h.fresh[id] = false
+	}
 }
 
 // Neighbors implements NeighborProvider. The result is sorted so that runs
 // are deterministic despite map iteration order.
 func (h *heartbeatService) Neighbors(id int) []int {
 	now := h.net.engine.Now()
+	if h.fresh[id] && h.epochs[id] == h.net.aliveEpoch && now <= h.expires[id] {
+		return h.lists[id]
+	}
+	return h.rebuild(id, now)
+}
+
+// rebuild rescans id's beacon table: exactly the filter the uncached
+// implementation applied per call, staged through scratch so a content
+// change (vs. the previously cached list) can advance the graph version.
+func (h *heartbeatService) rebuild(id int, now float64) []int {
 	h.scratch = h.scratch[:0]
+	expires := math.Inf(1)
 	for nb, seen := range h.lastSeen[id] {
 		if now-seen <= h.timeout && h.net.alive[nb] {
 			h.scratch = append(h.scratch, nb)
+			if e := seen + h.timeout; e < expires {
+				expires = e
+			}
 		} else if now-seen > h.timeout {
 			delete(h.lastSeen[id], nb)
 		}
 	}
 	sort.Ints(h.scratch)
-	return h.scratch
+	if !intsEqual(h.scratch, h.lists[id]) {
+		h.version++
+	}
+	h.lists[id] = append(h.lists[id][:0], h.scratch...)
+	h.expires[id] = expires
+	h.epochs[id] = h.net.aliveEpoch
+	h.fresh[id] = true
+	return h.lists[id]
+}
+
+// Version implements NeighborProvider: heartbeat neighbor sets change only
+// through observed rebuilds (beacon membership) and liveness flips, so the
+// content-change counter plus the alive epoch covers both. Both terms only
+// grow, so the sum is monotone.
+func (h *heartbeatService) Version() uint64 { return h.version + h.net.aliveEpoch }
+
+// Prepare implements NeighborProvider.
+func (h *heartbeatService) Prepare() {
+	for id := 0; id < h.net.N(); id++ {
+		if h.net.alive[id] {
+			h.Neighbors(id)
+		}
+	}
+}
+
+// Frozen implements NeighborProvider.
+func (h *heartbeatService) Frozen(id int) []int { return h.lists[id] }
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

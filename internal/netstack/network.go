@@ -80,9 +80,12 @@ type Config struct {
 	// IdealHopDelay adds fixed per-hop latency on the ideal stack
 	// (models queueing/channel access without contention).
 	IdealHopDelay float64
-	// CellNoise selects the SINR stack's cell-aggregated far-field
-	// interference model — the approximate scale-out mode for very large
-	// n (see phy.SINRConfig.CellNoise). Ignored by other stacks.
+	// CellNoise selects the cell-aggregated far-field interference model
+	// — the approximate scale-out mode for very large n — on the SINR
+	// stack (see phy.SINRConfig.CellNoise) and the disk stack (see
+	// phy.DiskConfig.CellNoise; effective there only when a carrier-sense
+	// range inside the interference range is configured). Ignored by the
+	// ideal stack, which has no interference.
 	CellNoise bool
 }
 
@@ -232,10 +235,24 @@ func New(engine *sim.Engine, cfg Config) *Network {
 			net.nodes[i] = newNode(net, i, mac.NewDCF(engine, cfg.MAC, i, m, engine.NewStream()))
 		}
 	case StackDisk:
-		m := phy.NewDiskMedium(engine, phy.DiskConfig{
+		dc := phy.DiskConfig{
 			N: cfg.N, Side: cfg.Side, Pos: pos,
 			MaxSpeed: net.mob.MaxSpeed(), Range: cfg.Range,
-		})
+		}
+		if cfg.CellNoise {
+			// Scale-out mode: exact arrivals only within the reception
+			// range; the (r, (1+Δ)·r] guard annulus is aggregated at cell
+			// granularity. Carrier sense contracts with the near field —
+			// like the SINR stack's mode, the far field gates locking and
+			// delivery, never Busy (DCF resumes from defer on channel-
+			// state edges, which only local arrivals generate).
+			dc.CellNoise = true
+			dc.CarrierSenseRange = dc.Range
+			if dc.CarrierSenseRange == 0 {
+				dc.CarrierSenseRange = 200 // the medium's Range default
+			}
+		}
+		m := phy.NewDiskMedium(engine, dc)
 		net.medium = m
 		for i := 0; i < cfg.N; i++ {
 			net.nodes[i] = newNode(net, i, mac.NewDCF(engine, cfg.MAC, i, m, engine.NewStream()))
@@ -542,6 +559,20 @@ func (net *Network) setMediumEnabled(id int, on bool) {
 // Neighbors returns node id's current one-hop neighbor ids. The slice is
 // owned by the provider and valid until the next call.
 func (net *Network) Neighbors(id int) []int { return net.neighbors.Neighbors(id) }
+
+// NeighborVersion is a counter that advances whenever some node's neighbor
+// set may have changed; consumers caching graph-derived state (the oracle
+// router's route trees) key on it.
+func (net *Network) NeighborVersion() uint64 { return net.neighbors.Version() }
+
+// PrepareNeighbors revalidates every live node's neighbor list so that a
+// sharded phase within the same event can read the frozen lists
+// concurrently (DESIGN.md §15).
+func (net *Network) PrepareNeighbors() { net.neighbors.Prepare() }
+
+// FrozenNeighbors returns id's cached neighbor list without revalidation.
+// Valid only after PrepareNeighbors within the same event; read-only.
+func (net *Network) FrozenNeighbors(id int) []int { return net.neighbors.Frozen(id) }
 
 // counterFor maps a protocol to its counter class. Unknown protocols count
 // as application traffic.

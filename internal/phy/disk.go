@@ -17,8 +17,14 @@ type DiskMedium struct {
 	r            float64 // transmission range
 	intfRange    float64 // (1+Δ)·r
 	csRange      float64 // carrier-sense range
-	candRange    float64 // max(intfRange, csRange): candidate query radius
+	candRange    float64 // candidate query radius (see NewDiskMedium)
 	plcpPreamble float64
+
+	// noise, when non-nil, aggregates far-annulus interferers at cell
+	// granularity (DESIGN.md §12) so candRange shrinks to the near field.
+	// Nil unless CellNoise is enabled and the carrier-sense range is
+	// strictly inside the interference range; the medium is exact then.
+	noise *diskNoiseField
 
 	radios []*diskRadio
 
@@ -60,6 +66,14 @@ type DiskConfig struct {
 	CarrierSenseRange float64
 	// PlcpPreambleSecs as in SINRConfig (default 192 µs).
 	PlcpPreambleSecs float64
+	// CellNoise enables the §12 far-field aggregation (see diskNoiseField):
+	// transmitters between the carrier-sense range and the interference
+	// range are tracked per grid cell instead of per arrival, shrinking the
+	// per-transmit candidate set from the (1+Δ)·r disc to the carrier-sense
+	// disc. Only effective when CarrierSenseRange < (1+Δ)·Range — with the
+	// default carrier-sense range the annulus is empty and the medium stays
+	// exact.
+	CellNoise bool
 }
 
 // NewDiskMedium builds the medium. All nodes start enabled.
@@ -87,11 +101,24 @@ func NewDiskMedium(engine *sim.Engine, cfg DiskConfig) *DiskMedium {
 	if m.csRange > m.candRange {
 		m.candRange = m.csRange
 	}
+	if cfg.CellNoise && m.csRange < m.intfRange {
+		// Near field = everything exact arrivals must still cover: the
+		// carrier-sense disc, but never smaller than the reception range.
+		near := m.csRange
+		if near < m.r {
+			near = m.r
+		}
+		m.candRange = near
+		m.noise = newDiskNoiseField(cfg.N, cfg.Side, near, m.intfRange, cfg.MaxSpeed)
+	}
 	m.world = newWorld(engine, cfg.N, cfg.Side, m.candRange, cfg.Pos, cfg.MaxSpeed)
 	m.radios = make([]*diskRadio, cfg.N)
 	for i := range m.radios {
 		r := &diskRadio{medium: m, id: i}
 		r.txDoneFn = r.txDone
+		if m.noise != nil {
+			r.noiseEndFn = func() { m.noise.txEnd(r.id) }
+		}
 		m.radios[i] = r
 	}
 	m.evalFn = func(i int) {
@@ -208,9 +235,17 @@ type diskRadio struct {
 	locked    *diskArrival
 	corrupted bool
 	busy      bool
+	// lockedAt is the time the current locked arrival locked; the
+	// cell-noise delivery check asks whether any far transmission started
+	// at or after it. Meaningful only while locked != nil.
+	lockedAt float64
 	// txDoneFn is the bound txDone method, created once so scheduling the
 	// end of a transmission does not allocate.
 	txDoneFn func()
+	// noiseEndFn retires this radio's transmission from the cell-noise
+	// field; bound once so the hot path does not allocate. Nil when the
+	// field is disabled.
+	noiseEndFn func()
 }
 
 var _ Channel = (*diskRadio)(nil)
@@ -248,6 +283,7 @@ func (r *diskRadio) reset() {
 	// hand-off point.
 	r.active = r.active[:0]
 	r.locked = nil
+	r.lockedAt = 0
 	r.corrupted = false
 	r.txUntil = 0
 	r.updateCarrier()
@@ -273,6 +309,14 @@ func (r *diskRadio) Transmit(f *Frame) {
 
 	srcPos := m.world.pos(r.id)
 	end := now + dur
+
+	if m.noise != nil {
+		// Register with the far-field index regardless of candidates: this
+		// transmitter may sit in the far annulus of receivers well outside
+		// its own (reduced) candidate radius.
+		m.noise.txStart(r.id, srcPos, now)
+		m.engine.At(end, r.noiseEndFn)
+	}
 
 	m.evalDst = m.evalDst[:0]
 	m.evalPos = m.evalPos[:0]
@@ -327,8 +371,9 @@ func (r *diskRadio) signalBegin(a *diskArrival) {
 	case transmitting:
 		// noise only
 	case r.locked == nil:
-		if a.inRange && r.interferenceCount(a) == 0 {
+		if a.inRange && r.interferenceCount(a) == 0 && !r.farBlocked() {
 			r.locked = a
+			r.lockedAt = m.engine.Now()
 			r.corrupted = false
 		}
 	default:
@@ -350,7 +395,7 @@ func (r *diskRadio) signalEnd(a *diskArrival) {
 	}
 	var deliver *Frame
 	if r.locked == a {
-		delivered := !r.corrupted && m.engine.Now() >= r.txUntil
+		delivered := !r.corrupted && m.engine.Now() >= r.txUntil && !r.farCorrupted()
 		r.locked = nil
 		r.corrupted = false
 		if delivered && r.handler != nil && m.Enabled(r.id) {
@@ -364,6 +409,22 @@ func (r *diskRadio) signalEnd(a *diskArrival) {
 		r.handler.FrameReceived(deliver)
 	}
 	r.updateCarrier()
+}
+
+// farBlocked reports whether a far-annulus transmitter is on the air over
+// this radio right now — its arrival would have blocked locking in the
+// exact model. False when the cell-noise field is off.
+func (r *diskRadio) farBlocked() bool {
+	m := r.medium
+	return m.noise != nil && m.noise.activeAt(m.world.pos(r.id))
+}
+
+// farCorrupted reports whether any far-annulus transmission started during
+// the locked frame — its arrival would have corrupted the reception in the
+// exact model. False when the cell-noise field is off.
+func (r *diskRadio) farCorrupted() bool {
+	m := r.medium
+	return m.noise != nil && m.noise.startedSince(m.world.pos(r.id), r.lockedAt)
 }
 
 func (r *diskRadio) updateCarrier() {

@@ -1,0 +1,162 @@
+package phy
+
+import "probquorum/internal/geom"
+
+// diskNoiseField is the disk-model counterpart of the SINR noiseField
+// (cellnoise.go): the §12 far-field aggregation, closing the gap where only
+// SINR had a scale-out interference path.
+//
+// The disk model's interference is binary — a locked reception dies iff any
+// other node within (1+Δ)·r of the receiver transmits at any point during
+// the frame — so the far field needs no power sum, only two predicates over
+// the annulus between the carrier-sense range and the interference range:
+//
+//   - activeAt: is any far transmitter on the air right now? Checked when a
+//     radio is about to lock; in the exact model those transmitters would be
+//     interfering arrivals and block the lock.
+//   - startedSince: did any far transmission start after a given instant?
+//     Checked at delivery; in the exact model such a start would have
+//     corrupted the locked frame's reception mid-flight. Per-cell
+//     last-start stamps persist after the transmitter retires, so an
+//     interferer that starts and ends within the victim frame still kills
+//     it, exactly as its arrival would have.
+//
+// With the field enabled the medium creates arrivals only out to the
+// carrier-sense range (where locking, capture, and carrier decisions need
+// exact per-signal geometry) and answers both predicates from a cell grid.
+// Membership is at cell granularity: a cell contributes iff its nearest
+// point lies beyond the inner radius (those transmitters are already exact
+// arrivals — never double count; the slop annulus is dropped from both
+// sides, understating interference rather than overstating it) and within
+// the interference range. A transmitter near a cell edge is thus judged by
+// its cell, not its exact distance — the same center-distance quantization
+// the SINR field accepts, here rounding the interference disc's boundary.
+// The field is inert (and the medium stays exact) unless the carrier-sense
+// range is strictly inside the interference range, since otherwise the
+// annulus is empty.
+//
+// Registration is count-based like the SINR field's: a node enters the grid
+// when its outstanding transmission count goes 0→1 and leaves at 1→0, so
+// overlapping transmissions cannot unbalance the index.
+type diskNoiseField struct {
+	grid    *geom.Grid
+	txCount []int32
+	// lastStart[cellIndex] is the engine time of the most recent
+	// transmission start indexed in that cell; it survives the transmitter
+	// leaving, which is what makes startedSince see short interferers.
+	lastStart   []float64
+	innerRadius float64
+	intfRange   float64
+	cell        float64
+	cols        int
+
+	// Query state for the prebound visit closures (allocation-free).
+	qp           geom.Point
+	since        float64
+	hit          bool
+	visitActive  func(cx, cy int, ids []int32)
+	visitStarted func(cx, cy int, ids []int32)
+}
+
+func newDiskNoiseField(n int, side float64, csRange, intfRange, maxSpeed float64) *diskNoiseField {
+	f := &diskNoiseField{
+		txCount: make([]int32, n),
+		// Both the world index and this grid can be worldRefreshSecs
+		// stale; pad the exact/aggregate boundary like the SINR field.
+		innerRadius: csRange + 4*maxSpeed*worldRefreshSecs,
+		intfRange:   intfRange,
+		grid:        geom.NewGrid(n, side, intfRange/noiseCellsPerIntfRange),
+	}
+	f.cell = f.grid.CellSize()
+	f.cols = f.grid.Cols()
+	f.lastStart = make([]float64, f.cols*f.cols)
+	for i := range f.lastStart {
+		f.lastStart[i] = -1
+	}
+	inner2 := f.innerRadius * f.innerRadius
+	intf2 := f.intfRange * f.intfRange
+	inAnnulus := func(cx, cy int) bool {
+		x0 := float64(cx) * f.cell
+		y0 := float64(cy) * f.cell
+		dx, dy := 0.0, 0.0
+		if f.qp.X < x0 {
+			dx = x0 - f.qp.X
+		} else if f.qp.X > x0+f.cell {
+			dx = f.qp.X - x0 - f.cell
+		}
+		if f.qp.Y < y0 {
+			dy = y0 - f.qp.Y
+		} else if f.qp.Y > y0+f.cell {
+			dy = f.qp.Y - y0 - f.cell
+		}
+		min2 := dx*dx + dy*dy
+		return min2 > inner2 && min2 <= intf2
+	}
+	f.visitActive = func(cx, cy int, ids []int32) {
+		if f.hit || len(ids) == 0 || !inAnnulus(cx, cy) {
+			return
+		}
+		f.hit = true
+	}
+	f.visitStarted = func(cx, cy int, ids []int32) {
+		if f.hit || !inAnnulus(cx, cy) {
+			return
+		}
+		if f.lastStart[cy*f.cols+cx] >= f.since {
+			f.hit = true
+		}
+	}
+	return f
+}
+
+// txStart registers one outstanding transmission from id at indexed
+// position p and stamps the cell's last-start time.
+func (f *diskNoiseField) txStart(id int, p geom.Point, now float64) {
+	f.txCount[id]++
+	if f.txCount[id] == 1 {
+		f.grid.Update(id, p)
+	}
+	// Stamp the cell the grid indexed (the position sticks for the whole
+	// 0→…→0 episode), so startedSince and membership agree on the cell.
+	f.lastStart[f.cellIndexOf(f.grid.Position(id))] = now
+}
+
+func (f *diskNoiseField) cellIndexOf(p geom.Point) int {
+	cx := int(p.X / f.cell)
+	cy := int(p.Y / f.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= f.cols {
+		cx = f.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= f.cols {
+		cy = f.cols - 1
+	}
+	return cy*f.cols + cx
+}
+
+// txEnd retires one outstanding transmission from id. The cell's last-start
+// stamp deliberately survives.
+func (f *diskNoiseField) txEnd(id int) {
+	f.txCount[id]--
+	if f.txCount[id] == 0 {
+		f.grid.Remove(id)
+	}
+}
+
+// activeAt reports whether any far-annulus transmitter is on the air.
+func (f *diskNoiseField) activeAt(p geom.Point) bool {
+	f.qp, f.hit = p, false
+	f.grid.ForEachCellWithin(p, f.intfRange, f.visitActive)
+	return f.hit
+}
+
+// startedSince reports whether any far-annulus transmission started at or
+// after time t (including transmitters that have already stopped).
+func (f *diskNoiseField) startedSince(p geom.Point, t float64) bool {
+	f.qp, f.since, f.hit = p, t, false
+	f.grid.ForEachCellWithin(p, f.intfRange, f.visitStarted)
+	return f.hit
+}

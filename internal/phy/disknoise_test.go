@@ -1,0 +1,198 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"probquorum/internal/geom"
+	"probquorum/internal/sim"
+)
+
+// oracleDiskAnnulus reports, by scanning every cell of the disk noise grid
+// directly and applying the documented rule (a cell contributes iff its
+// nearest point to p lies strictly beyond innerRadius and within intfRange),
+// whether any annulus cell is occupied (active) and whether any annulus
+// cell's last-start stamp is at or after since (started).
+func oracleDiskAnnulus(f *diskNoiseField, p geom.Point, since float64) (active, started bool) {
+	cs := f.grid.CellSize()
+	for cy := 0; cy < f.grid.Cols(); cy++ {
+		for cx := 0; cx < f.grid.Cols(); cx++ {
+			x0, y0 := float64(cx)*cs, float64(cy)*cs
+			dx := math.Max(math.Max(x0-p.X, p.X-x0-cs), 0)
+			dy := math.Max(math.Max(y0-p.Y, p.Y-y0-cs), 0)
+			min2 := dx*dx + dy*dy
+			if min2 <= f.innerRadius*f.innerRadius || min2 > f.intfRange*f.intfRange {
+				continue
+			}
+			if len(f.grid.Cell(cx, cy)) > 0 {
+				active = true
+			}
+			if f.lastStart[cy*f.cols+cx] >= since {
+				started = true
+			}
+		}
+	}
+	return active, started
+}
+
+// TestDiskNoiseFieldOracle property-tests activeAt and startedSince against
+// the full-scan oracle under random start/end churn with advancing time, and
+// checks the count-based membership invariant (a node is indexed iff its
+// outstanding count is positive). The since parameter is drawn over the
+// whole elapsed range so retired transmitters' persistent last-start stamps
+// are exercised on both sides of the threshold.
+func TestDiskNoiseFieldOracle(t *testing.T) {
+	const n, side = 120, 3000.0
+	rng := rand.New(rand.NewSource(13))
+	f := newDiskNoiseField(n, side, 200, 300, 2.0)
+
+	now := 0.0
+	for step := 0; step < 2000; step++ {
+		now += rng.Float64() * 1e-3
+		id := rng.Intn(n)
+		if f.txCount[id] == 0 || rng.Float64() < 0.4 {
+			f.txStart(id, geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}, now)
+		} else {
+			f.txEnd(id)
+		}
+		if step%97 != 0 {
+			continue
+		}
+		indexed := 0
+		for _, c := range f.txCount {
+			if c < 0 {
+				t.Fatal("negative outstanding-transmission count")
+			}
+			if c > 0 {
+				indexed++
+			}
+		}
+		if got := f.grid.Count(); got != indexed {
+			t.Fatalf("step %d: grid holds %d ids, %d nodes transmitting", step, got, indexed)
+		}
+		q := geom.Point{X: rng.Float64() * side, Y: rng.Float64() * side}
+		since := rng.Float64() * now
+		wantActive, wantStarted := oracleDiskAnnulus(f, q, since)
+		if got := f.activeAt(q); got != wantActive {
+			t.Fatalf("step %d: activeAt(%v) = %v, oracle %v", step, q, got, wantActive)
+		}
+		if got := f.startedSince(q, since); got != wantStarted {
+			t.Fatalf("step %d: startedSince(%v, %g) = %v, oracle %v", step, q, since, got, wantStarted)
+		}
+	}
+}
+
+// diskNoiseScenario wires a CellNoise disk medium (carrier-sense contracted
+// to the 200 m reception range, interference range 300 m) with a receiver at
+// a cell center, a probe transmitter 100 m away, and one far interferer at
+// 300 m — beyond the candidate radius (so it produces no arrival at the
+// receiver) but exactly at the interference range, in a cell whose nearest
+// point to the receiver is 250 m (cleanly inside the aggregation annulus).
+func diskNoiseScenario(t *testing.T) (*DiskMedium, *collector, *sim.Engine) {
+	t.Helper()
+	const side = 3000.0
+	rxPos := geom.Point{X: 1550, Y: 1550}
+	pts := []geom.Point{
+		rxPos,
+		{X: rxPos.X + 100, Y: rxPos.Y}, // probe tx
+		{X: rxPos.X + 300, Y: rxPos.Y}, // far interferer
+	}
+	e := sim.NewEngine(1)
+	m := NewDiskMedium(e, DiskConfig{
+		N: len(pts), Side: side, Pos: staticPos(pts),
+		CarrierSenseRange: 200, CellNoise: true,
+	})
+	if m.noise == nil {
+		t.Fatal("cell-noise field not enabled despite csRange < intfRange")
+	}
+	if m.candRange != 200 {
+		t.Fatalf("candidate radius = %.0f with cell noise on, want 200", m.candRange)
+	}
+	c := &collector{}
+	m.Channel(0).SetHandler(c)
+	return m, c, e
+}
+
+func diskProbe(m *DiskMedium) {
+	// 12 ms frame: long enough for an interferer burst to fit inside it.
+	m.Channel(1).Transmit(&Frame{Src: 1, Dst: 0, Kind: FrameData, Bytes: 1500, Rate: 1e6})
+}
+
+// TestDiskCellNoiseFarField is the end-to-end check of the aggregated disk
+// model: a clean probe link delivers; the same link fails when a far
+// interferer — invisible as an arrival — is on the air at lock time; and it
+// fails when the interferer's burst starts after the lock and ends before
+// delivery, which only the persistent per-cell last-start stamp can see.
+func TestDiskCellNoiseFarField(t *testing.T) {
+	// Clean link.
+	m, c, e := diskNoiseScenario(t)
+	e.Schedule(0, func() { diskProbe(m) })
+	e.Run(1)
+	if len(c.frames) != 1 {
+		t.Fatalf("clean link delivered %d frames, want 1", len(c.frames))
+	}
+
+	// Far interferer active at lock time: the lock must be refused.
+	m, c, e = diskNoiseScenario(t)
+	e.Schedule(0, func() {
+		m.Channel(2).Transmit(&Frame{Src: 2, Dst: Broadcast, Kind: FrameData, Bytes: 1500, Rate: 1e6})
+	})
+	e.Schedule(0.001, func() { diskProbe(m) })
+	e.Schedule(0.0015, func() {
+		if len(m.radios[0].active) != 1 {
+			t.Errorf("receiver tracks %d arrivals, want 1 (the far interferer must not be one)", len(m.radios[0].active))
+		}
+		if m.radios[0].locked != nil {
+			t.Error("receiver locked the probe despite an active far interferer")
+		}
+	})
+	e.Run(1)
+	if len(c.frames) != 0 {
+		t.Fatal("probe delivered despite a far interferer active at lock time")
+	}
+
+	// Short far burst strictly inside the probe frame: it has started and
+	// ended (and left the grid) before delivery, yet must still corrupt.
+	m, c, e = diskNoiseScenario(t)
+	e.Schedule(0, func() { diskProbe(m) })
+	e.Schedule(0.002, func() {
+		m.Channel(2).Transmit(&Frame{Src: 2, Dst: Broadcast, Kind: FrameData, Bytes: 100, Rate: 2e6})
+	})
+	e.Schedule(0.011, func() {
+		if m.noise.txCount[2] != 0 {
+			t.Error("interferer still registered after its burst ended")
+		}
+		if got := m.noise.grid.Count(); got != 1 {
+			t.Errorf("noise grid holds %d ids mid-probe, want 1 (the probe transmitter)", got)
+		}
+	})
+	e.Run(1)
+	if len(c.frames) != 0 {
+		t.Fatal("probe delivered despite a far burst inside its frame")
+	}
+}
+
+// TestDiskCellNoiseNearFieldNotDoubleCounted pins the inner exclusion: a
+// transmitter inside the carrier-sense range is an exact arrival, so the far
+// field at the receiver must ignore it entirely.
+func TestDiskCellNoiseNearFieldNotDoubleCounted(t *testing.T) {
+	m, c, e := diskNoiseScenario(t)
+	e.Schedule(0, func() { diskProbe(m) })
+	e.Schedule(0.0005, func() { // mid-frame
+		rxPos := geom.Point{X: 1550, Y: 1550}
+		if m.noise.activeAt(rxPos) {
+			t.Error("far field active at receiver during a near-field-only frame")
+		}
+		if m.noise.startedSince(rxPos, 0) {
+			t.Error("far field saw a start during a near-field-only frame")
+		}
+		if len(m.radios[0].active) != 1 {
+			t.Errorf("receiver tracks %d arrivals, want 1 exact near-field arrival", len(m.radios[0].active))
+		}
+	})
+	e.Run(1)
+	if len(c.frames) != 1 {
+		t.Fatalf("near-field frame delivered %d times, want 1", len(c.frames))
+	}
+}

@@ -2,6 +2,15 @@ package quorum
 
 import "probquorum/internal/netstack"
 
+// prefetchRoutes warms the router's route cache for an imminent fan-out from
+// origin to members; a no-op unless the router exposes a prefetcher (the
+// oracle with its route cache on).
+func (s *System) prefetchRoutes(origin int, members []int) {
+	if s.prefetcher != nil {
+		s.prefetcher.PrefetchRoutes(origin, members)
+	}
+}
+
 // directMsg carries a RANDOM / RANDOM-OPT quorum access delivered to a
 // specific member via multihop routing.
 type directMsg struct {
@@ -24,6 +33,7 @@ func (s *System) advertiseRandom(origin int, op opID, key, value string) {
 		return
 	}
 	ad.pending = len(members)
+	s.prefetchRoutes(origin, members)
 	used := make(map[int]bool, len(members))
 	for _, m := range members {
 		used[m] = true
@@ -94,6 +104,7 @@ func (s *System) lookupRandom(origin int, op opID, key string) {
 		s.serialLookupStep(origin, op, key, lk.serialGen)
 		return
 	}
+	s.prefetchRoutes(origin, members)
 	for _, m := range members {
 		msg := &directMsg{Op: op, Advertise: false, Key: key}
 		pkt := s.newPacket(origin, m, msg)
@@ -138,6 +149,7 @@ func (s *System) serialLookupStep(origin int, op opID, key string, gen int) {
 func (s *System) lookupRandomOpt(origin int, op opID, key string) {
 	members := s.members.Pick(s.engine.Rand(), origin, s.cfg.RandomOptTargets)
 	s.observeMembers(origin, members)
+	s.prefetchRoutes(origin, members)
 	for _, m := range members {
 		msg := &directMsg{Op: op, Advertise: false, Key: key}
 		pkt := s.newPacket(origin, m, msg)

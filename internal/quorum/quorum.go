@@ -278,6 +278,12 @@ type System struct {
 	cfg     Config
 	engine  *sim.Engine
 
+	// prefetcher is routing's bulk route-warmup hook, when it has one (the
+	// oracle router with its route cache enabled); nil otherwise. Quorum
+	// fan-outs call it with the member set they are about to contact so all
+	// missing routes build in one sharded parallel phase.
+	prefetcher aodv.RoutePrefetcher
+
 	stores  []*Store
 	opSeq   uint32
 	lookups map[opID]*pendingLookup
@@ -380,6 +386,7 @@ func New(net *netstack.Network, routing aodv.Router, members *membership.Service
 		floodCoverage: make(map[opID]int),
 		served:        make([]int64, net.N()),
 	}
+	s.prefetcher, _ = routing.(aodv.RoutePrefetcher)
 	needsRouting := cfg.AdvertiseStrategy == Random || cfg.AdvertiseStrategy == RandomOpt ||
 		cfg.LookupStrategy == Random || cfg.LookupStrategy == RandomOpt ||
 		cfg.ReplyLocalRepair

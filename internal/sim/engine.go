@@ -135,6 +135,16 @@ type Engine struct {
 	// started goroutines backing it (see parallel.go).
 	workers int
 	pool    *evalPool
+	// shards is the ShardedEval fan-out width; shardPool holds its lazily
+	// started goroutines, and the remaining fields are the sharded phase's
+	// reusable grouping/staging state (see shard.go).
+	shards        int
+	shardPool     *shardPool
+	shardBuckets  [][]int32
+	stageBufs     [][]stagedOp
+	phaseShardOf  func(int) int
+	inShardPhase  bool
+	commitScratch []stagedOp
 }
 
 // NewEngine returns an engine at time zero whose random source is seeded

@@ -57,14 +57,19 @@ func (e *Engine) SetWorkers(k int) {
 // Workers returns the configured parallel-phase width.
 func (e *Engine) Workers() int { return e.workers }
 
-// StopWorkers terminates the pool goroutines, if any. Callers that set
-// Workers > 1 should defer this when the run ends so pools do not pile up
-// across the engines of a sweep. Safe to call repeatedly; ParallelEval
-// restarts the pool on demand.
+// StopWorkers terminates the parallel-phase pool goroutines — both the
+// ParallelEval pool and the ShardedEval pool — if any. Callers that set
+// Workers or Shards > 1 should defer this when the run ends so pools do not
+// pile up across the engines of a sweep. Safe to call repeatedly; the
+// phases restart their pools on demand.
 func (e *Engine) StopWorkers() {
 	if e.pool != nil {
 		close(e.pool.tasks)
 		e.pool = nil
+	}
+	if e.shardPool != nil {
+		close(e.shardPool.tasks)
+		e.shardPool = nil
 	}
 }
 
@@ -82,26 +87,48 @@ func (e *Engine) StopWorkers() {
 // unobservable: chunks are contiguous index ranges, and the only
 // synchronization points are dispatch and the final barrier.
 //
-// With workers <= 1 or n below MinParallelItems the loop runs inline.
+// With workers <= 1 the phase borrows the shard pool when one is configured
+// (SetShards > 1): a sharded run should not leave its pure per-item phases
+// serial just because no separate eval width was set, and the purity
+// contract makes the partition unobservable, so results are identical
+// either way. With neither pool, or n below MinParallelItems, the loop runs
+// inline.
 func (e *Engine) ParallelEval(n int, fn func(i int)) {
-	if e.workers <= 1 || n < MinParallelItems {
+	if n < MinParallelItems || (e.workers <= 1 && e.shards <= 1) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	if e.pool == nil {
-		e.pool = newEvalPool(e.workers)
+	if e.workers > 1 {
+		if e.pool == nil {
+			e.pool = newEvalPool(e.workers)
+		}
+		p := e.pool
+		chunk := (n + e.workers - 1) / e.workers
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			p.wg.Add(1)
+			p.tasks <- evalTask{fn: fn, start: start, end: end, wg: &p.wg}
+		}
+		p.wg.Wait()
+		return
 	}
-	p := e.pool
-	chunk := (n + e.workers - 1) / e.workers
+	if e.shardPool == nil {
+		e.shardPool = newShardPool(e.shards)
+	}
+	p := e.shardPool
+	chunk := (n + e.shards - 1) / e.shards
 	for start := 0; start < n; start += chunk {
 		end := start + chunk
 		if end > n {
 			end = n
 		}
 		p.wg.Add(1)
-		p.tasks <- evalTask{fn: fn, start: start, end: end, wg: &p.wg}
+		p.tasks <- shardTask{fn: fn, start: start, end: end, wg: &p.wg}
 	}
 	p.wg.Wait()
 }

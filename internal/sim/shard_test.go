@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// shardedHarness runs one deterministic sharded phase: items write their
+// own result slot, mutate per-shard scratch, and stage a commit that
+// appends to a shared log (legal only because commits run serially at the
+// barrier, in item order).
+func shardedHarness(t *testing.T, shards, n int) (results []int, scratchSums []int, log []string) {
+	t.Helper()
+	e := NewEngine(1)
+	e.SetShards(shards)
+	defer e.StopWorkers()
+
+	k := 4 // logical shard count, independent of the engine width
+	sm := NewShardMap(k, n, float64(n), func(id int) float64 { return float64(id) })
+	results = make([]int, n)
+	scratch := make([][]int, k)
+	for s := range scratch {
+		scratch[s] = make([]int, 1)
+	}
+	e.At(1, func() {
+		e.ShardedEval(n, func(i int) int { return sm.Shard(i) }, func(i int) {
+			results[i] = i * i
+			s := sm.Shard(i)
+			scratch[s][0] += i
+			if i%3 == 0 {
+				e.Stage(i, func() { log = append(log, fmt.Sprintf("op%d", i)) })
+				e.Stage(i, func() { log = append(log, fmt.Sprintf("op%d-b", i)) })
+			}
+		})
+	})
+	if err := e.RunAll(100); err != nil {
+		t.Fatal(err)
+	}
+	scratchSums = make([]int, k)
+	for s := range scratch {
+		scratchSums[s] = scratch[s][0]
+	}
+	return results, scratchSums, log
+}
+
+// TestShardedEvalBitIdentical checks the core contract: results, per-shard
+// scratch, and the staged-commit sequence are identical at any shard
+// count, including the inline widths 0 and 1.
+func TestShardedEvalBitIdentical(t *testing.T) {
+	const n = 37
+	wantRes, wantScratch, wantLog := shardedHarness(t, 0, n)
+	for _, w := range []int{1, 2, 3, 4, 8} {
+		res, scr, log := shardedHarness(t, w, n)
+		if fmt.Sprint(res) != fmt.Sprint(wantRes) {
+			t.Errorf("shards=%d: results diverged", w)
+		}
+		if fmt.Sprint(scr) != fmt.Sprint(wantScratch) {
+			t.Errorf("shards=%d: scratch diverged: got %v want %v", w, scr, wantScratch)
+		}
+		if fmt.Sprint(log) != fmt.Sprint(wantLog) {
+			t.Errorf("shards=%d: commit order diverged:\n got %v\nwant %v", w, log, wantLog)
+		}
+	}
+}
+
+// TestShardedEvalCommitOrder pins the staged-commit ordering rule: ops run
+// after the barrier in ascending item order, FIFO within an item, however
+// the items were sharded.
+func TestShardedEvalCommitOrder(t *testing.T) {
+	_, _, log := shardedHarness(t, 4, 13)
+	want := []string{"op0", "op0-b", "op3", "op3-b", "op6", "op6-b", "op9", "op9-b", "op12", "op12-b"}
+	if fmt.Sprint(log) != fmt.Sprint(want) {
+		t.Fatalf("commit order:\n got %v\nwant %v", log, want)
+	}
+}
+
+// TestShardedEvalShardAffinity verifies that all items of one shard run on
+// the same goroutine (sequentially), which is what makes per-shard scratch
+// legal: with per-item goroutine tags, every shard must observe exactly one
+// distinct tag.
+func TestShardedEvalShardAffinity(t *testing.T) {
+	const n, k = 64, 4
+	e := NewEngine(1)
+	e.SetShards(k)
+	defer e.StopWorkers()
+	sm := NewShardMap(k, n, float64(n), func(id int) float64 { return float64(id) })
+
+	var tag atomic.Int64
+	workerOf := make([]int64, n)
+	perWorker := make([][]int64, k) // per-shard scratch: the ids seen, in order
+	e.At(1, func() {
+		e.ShardedEval(n, sm.Shard, func(i int) {
+			s := sm.Shard(i)
+			if len(perWorker[s]) == 0 {
+				workerOf[i] = tag.Add(1)
+			} else {
+				workerOf[i] = workerOf[int(perWorker[s][0])]
+			}
+			perWorker[s] = append(perWorker[s], int64(i))
+		})
+	})
+	if err := e.RunAll(10); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < k; s++ {
+		items := perWorker[s]
+		if len(items) == 0 {
+			t.Fatalf("shard %d received no items", s)
+		}
+		for j := 1; j < len(items); j++ {
+			if items[j] <= items[j-1] {
+				t.Fatalf("shard %d executed items out of order: %v", s, items)
+			}
+			if workerOf[items[j]] != workerOf[items[0]] {
+				t.Fatalf("shard %d split across workers", s)
+			}
+		}
+	}
+}
+
+// TestShardedEvalResize changes the width between events mid-run; the
+// schedule and results must be unperturbed (SetShards is pure throughput).
+func TestShardedEvalResize(t *testing.T) {
+	run := func(resize bool) string {
+		e := NewEngine(7)
+		e.SetShards(2)
+		defer e.StopWorkers()
+		sm := NewShardMap(4, 32, 32, func(id int) float64 { return float64(id) })
+		var out []int
+		res := make([]int, 32)
+		for step := 0; step < 4; step++ {
+			step := step
+			e.At(float64(step+1), func() {
+				e.ShardedEval(32, sm.Shard, func(i int) { res[i] = i * (step + 1) })
+				sum := 0
+				for _, v := range res {
+					sum += v
+				}
+				out = append(out, sum)
+				if resize && step == 1 {
+					e.SetShards(8)
+				}
+			})
+		}
+		if err := e.RunAll(100); err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(out)
+	}
+	if got, want := run(true), run(false); got != want {
+		t.Fatalf("mid-run SetShards perturbed results: got %s want %s", got, want)
+	}
+}
+
+// TestStageOutsidePhasePanics pins the misuse guard.
+func TestStageOutsidePhasePanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stage outside ShardedEval did not panic")
+		}
+	}()
+	e.Stage(0, func() {})
+}

@@ -266,7 +266,7 @@ func TestClusterScheduledFaults(t *testing.T) {
 	})
 	c.AdvertiseWait(0, "k", "v")
 	for i := 0; i < 5; i++ {
-		c.LookupWait((i*11 + 7) % 60, "k")
+		c.LookupWait((i*11+7)%60, "k")
 	}
 	c.RunFor(20) // past every episode's heal time
 	rep := c.CheckReport()
